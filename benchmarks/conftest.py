@@ -1,0 +1,44 @@
+"""Benchmark fixtures: one paper-scale crawl + analysis, shared by all.
+
+The default scenario runs at 1/8 of the paper's URL population (rates are
+calibrated so every measured *fraction* should match the paper). Set
+``REPRO_BENCH_SCALE`` to run bigger or smaller, e.g.::
+
+    REPRO_BENCH_SCALE=0.25 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+
+BENCH_SEED = 7
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.125"))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return paper_scenario(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_config):
+    return run_full_crawl(config=bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_dataset):
+    miner = PushAdMiner.for_dataset(bench_dataset)
+    return miner.run(bench_dataset.valid_records)
+
+
+def paper_vs_measured(title, rows):
+    """Uniform printout: (metric, paper value, measured value) rows."""
+    print(f"\n=== {title} (paper vs measured, scale={BENCH_SCALE}) ===")
+    width = max(len(str(r[0])) for r in rows)
+    print(f"{'metric'.ljust(width)}  {'paper':>14}  {'measured':>14}")
+    for metric, paper, measured in rows:
+        print(f"{str(metric).ljust(width)}  {str(paper):>14}  {str(measured):>14}")

@@ -1,0 +1,27 @@
+"""Microbenchmarks for the collection substrate (generation + crawl)."""
+
+import pytest
+
+from repro import paper_scenario, run_full_crawl
+from repro.crawler.seeds import discover_seeds
+from repro.webenv.generator import generate_ecosystem
+
+
+def test_perf_ecosystem_generation(benchmark):
+    config = paper_scenario(seed=7, scale=0.06)
+    ecosystem = benchmark(generate_ecosystem, config)
+    assert ecosystem.websites
+
+
+def test_perf_seed_discovery_engine(benchmark):
+    ecosystem = generate_ecosystem(paper_scenario(seed=7, scale=0.06))
+    discovery = benchmark(discover_seeds, ecosystem)
+    assert discovery.total_urls > 0
+
+
+def test_perf_full_crawl(benchmark):
+    config = paper_scenario(seed=7, scale=0.03)
+    dataset = benchmark.pedantic(
+        run_full_crawl, kwargs={"config": config}, rounds=3, iterations=1
+    )
+    assert dataset.records

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Ad-blocker audit: why traditional blocking misses WPN ads (Table 6).
+
+Collects the service-worker network traffic behind a crawl, then tests it
+against (a) EasyList-style filter rules and (b) two modeled blocker
+extensions — which, like real extensions in the browser generation the
+paper studied, cannot see SW requests at all. Finally shows what a
+hypothetical SW-aware extension with a push-specific list *could* block.
+
+Usage::
+
+    python examples/adblock_audit.py [--scale 0.05] [--seed 7]
+"""
+
+import argparse
+
+from repro import paper_scenario, run_full_crawl
+from repro.adblock import AdBlockerExtension, FilterList, evaluate_blocking
+from repro.adblock.easylist import synthetic_easylist
+from repro.core.report import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    dataset = run_full_crawl(config=paper_scenario(seed=args.seed, scale=args.scale))
+    sw_requests = dataset.sw_requests
+    print(f"Collected {len(sw_requests)} service-worker network requests "
+          f"behind {len(dataset.records)} WPNs.\n")
+
+    print("Table 6 — existing ad blocking vs WPN ad traffic")
+    rows = [
+        (r.mechanism, r.total_requests, r.blocked_requests,
+         f"{r.blocked_pct:.2f}%", f"{r.scripts_matched_pct:.1f}%")
+        for r in evaluate_blocking(sw_requests, dataset.ecosystem.network_domains)
+    ]
+    print(render_table(
+        ["mechanism", "SW requests", "blocked", "blocked %", "SW scripts matched"],
+        rows,
+    ))
+
+    # A counterfactual: an extension that CAN see SW requests, armed with a
+    # push-aware list blocking the networks' push API endpoints.
+    push_rules = "\n".join(
+        f"||api.{domain}^" for domain in dataset.ecosystem.network_domains.values()
+    )
+    aware = AdBlockerExtension(
+        name="hypothetical SW-aware blocker",
+        filters=FilterList.parse(push_rules),
+        sees_sw_requests=True,
+    )
+    blocked = sum(1 for r in sw_requests if aware.would_block(r))
+    print(f"\nCounterfactual: an SW-aware extension with push-endpoint rules "
+          f"would block {blocked}/{len(sw_requests)} "
+          f"({100.0 * blocked / max(len(sw_requests), 1):.1f}%) of SW requests —")
+    print("the visibility gap, not the filter lists, is the bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

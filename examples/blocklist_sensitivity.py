@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Ablation: how malicious-campaign discovery depends on blocklist coverage.
+
+The paper's labeling starts from VirusTotal/GSB hits and amplifies them via
+guilt-by-association and meta-clustering. This ablation sweeps VT's
+eventual coverage rate and measures how many truly-malicious ads each
+pipeline stage recovers — quantifying how far the clustering machinery can
+stretch a weak blocklist signal (and where it stops helping).
+
+Usage::
+
+    python examples/blocklist_sensitivity.py [--scale 0.05] [--seed 7]
+"""
+
+import argparse
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+from repro.core.report import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    dataset = run_full_crawl(config=paper_scenario(seed=args.seed, scale=args.scale))
+    valid = dataset.valid_records
+    truly_malicious = {r.wpn_id for r in valid if r.truth.malicious}
+    print(f"{len(valid)} valid WPNs, {len(truly_malicious)} truly malicious\n")
+
+    rows = []
+    for vt_rate in (0.05, 0.15, 0.30, 0.50, 0.75):
+        miner = PushAdMiner.for_dataset(dataset, vt_late_rate=vt_rate)
+        result = miner.run(valid)
+        known = result.labeling.known_malicious_ids
+        confirmed = (
+            known
+            | result.labeling.propagated_confirmed_ids
+            | result.suspicion.confirmed_malicious_ids
+        )
+        recall_bl = len(known & truly_malicious) / len(truly_malicious)
+        recall_all = len(confirmed & truly_malicious) / len(truly_malicious)
+        amplification = (recall_all / recall_bl) if recall_bl else float("inf")
+        rows.append((
+            f"{vt_rate:.2f}",
+            len(known),
+            len(confirmed),
+            f"{100 * recall_bl:.1f}%",
+            f"{100 * recall_all:.1f}%",
+            f"{amplification:.1f}x",
+        ))
+
+    print(render_table(
+        ["VT coverage", "blocklist hits", "after pipeline",
+         "blocklist recall", "pipeline recall", "amplification"],
+        rows,
+    ))
+    print("\nThe clustering stages multiply whatever the blocklists find; "
+          "with realistic (low) coverage the multiplier is largest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: crawl a simulated push-ad ecosystem and mine its WPN ads.
+
+Runs the whole PushAdMiner loop at a small scale (~1 minute of the paper's
+two-month study): generate the world, seed the crawler from code search,
+collect push notifications on desktop + mobile, then cluster, label and
+report — ending with the paper's headline measurement (Table 3).
+
+Usage::
+
+    python examples/quickstart.py [--scale 0.05] [--seed 7]
+"""
+
+import argparse
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+from repro.core import report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's URL population")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Generating ecosystem + crawling (scale={args.scale}, seed={args.seed})...")
+    dataset = run_full_crawl(config=paper_scenario(seed=args.seed, scale=args.scale))
+    crawl = dataset.summary()
+    print(f"  seeded {crawl['seed_urls']} URLs, "
+          f"{crawl['npr_urls']} requested notification permission")
+    print(f"  collected {crawl['collected_wpns']} WPNs "
+          f"({crawl['desktop_wpns']} desktop / {crawl['mobile_wpns']} mobile), "
+          f"{crawl['valid_wpns']} with a valid landing page")
+
+    print("\nRunning the analysis pipeline...")
+    result = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+
+    print("\nTable 3 — summary of findings")
+    rows = [(k, v) for k, v in report.table3_summary(dataset, result).items()]
+    print(report.render_table(["metric", "value"], rows))
+
+    print("\nTable 4 — results at each clustering stage")
+    print(report.render_table(
+        ["stage", "#clusters", "#ad-related", "#WPN ads",
+         "#known malicious", "#additional malicious"],
+        report.table4_rows(result),
+    ))
+
+    pct = result.summary()["malicious_ad_pct"]
+    print(f"\n=> {pct}% of identified WPN ads are malicious "
+          "(the paper measured 51%).")
+
+
+if __name__ == "__main__":
+    main()

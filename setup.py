@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (offline legacy
+editable installs); configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

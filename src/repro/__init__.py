@@ -1,0 +1,39 @@
+"""PushAdMiner reproduction: measuring (malicious) web push advertising.
+
+A faithful, fully-offline reproduction of *"When Push Comes to Ads:
+Measuring the Rise of (Malicious) Push Advertising"* (IMC 2020): a
+simulated web-push ad ecosystem, an instrumented-browser crawler for both
+desktop and Android, and the paper's complete analysis pipeline (WPN
+clustering, ad-campaign identification, blocklist labeling, meta-clustering
+and suspicious-ad discovery).
+
+Quickstart::
+
+    from repro import paper_scenario, run_full_crawl, PushAdMiner
+
+    dataset = run_full_crawl(config=paper_scenario(seed=7, scale=0.05))
+    result = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+    print(result.summary())
+"""
+
+from repro.webenv.scenario import ScenarioConfig, paper_scenario
+from repro.webenv.generator import WebEcosystem, generate_ecosystem
+from repro.crawler.harvest import WpnDataset, run_full_crawl
+from repro.core.pipeline import PipelineResult, PushAdMiner
+from repro.core.records import WpnRecord, WpnTruth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "paper_scenario",
+    "WebEcosystem",
+    "generate_ecosystem",
+    "WpnDataset",
+    "run_full_crawl",
+    "PipelineResult",
+    "PushAdMiner",
+    "WpnRecord",
+    "WpnTruth",
+    "__version__",
+]

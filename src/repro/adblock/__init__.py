@@ -1,0 +1,22 @@
+"""Ad blocking: Adblock-Plus-style filter rules vs service worker traffic.
+
+The paper (section 6.4, Table 6) tests EasyList rules against SW script
+URLs and installs two popular blocker extensions: the extensions block
+*none* of the SW-issued requests (Chromium extensions had no visibility
+into service worker network activity) and EasyList itself matches under 2%.
+"""
+
+from repro.adblock.rules import FilterRule, FilterList, parse_rule
+from repro.adblock.easylist import synthetic_easylist
+from repro.adblock.extensions import AdBlockerExtension
+from repro.adblock.evaluate import AdBlockEvaluation, evaluate_blocking
+
+__all__ = [
+    "FilterRule",
+    "FilterList",
+    "parse_rule",
+    "synthetic_easylist",
+    "AdBlockerExtension",
+    "AdBlockEvaluation",
+    "evaluate_blocking",
+]

@@ -1,0 +1,83 @@
+"""Table 6: how existing ad-blocking fares against WPN ad traffic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.adblock.easylist import synthetic_easylist
+from repro.adblock.extensions import AdBlockerExtension, popular_extensions
+from repro.adblock.rules import FilterList
+from repro.browser.network import NetworkRequest
+from repro.util.stats import safe_ratio
+
+
+@dataclass
+class AdBlockEvaluation:
+    """One Table 6 row: a blocking mechanism vs the SW request corpus."""
+
+    mechanism: str
+    total_requests: int
+    blocked_requests: int
+    sw_scripts_total: int
+    sw_scripts_matched: int
+
+    @property
+    def blocked_pct(self) -> float:
+        return 100.0 * safe_ratio(self.blocked_requests, self.total_requests)
+
+    @property
+    def scripts_matched_pct(self) -> float:
+        return 100.0 * safe_ratio(self.sw_scripts_matched, self.sw_scripts_total)
+
+
+def evaluate_blocking(
+    sw_requests: Sequence[NetworkRequest],
+    network_domains: Dict[str, str],
+    filters: Optional[FilterList] = None,
+    extensions: Optional[List[AdBlockerExtension]] = None,
+) -> List[AdBlockEvaluation]:
+    """Run the paper's section-6.4 experiment.
+
+    Two checks per mechanism: (a) of the requests issued by service
+    workers, how many would be blocked; (b) of the distinct SW script URLs,
+    how many match filter rules at all.
+    """
+    filters = filters if filters is not None else synthetic_easylist(network_domains)
+    extensions = (
+        extensions if extensions is not None else popular_extensions(filters)
+    )
+
+    sw_scripts = sorted(
+        {r.sw_script_url for r in sw_requests if r.sw_script_url}
+    )
+    scripts_matched = sum(1 for s in sw_scripts if filters.should_block(s))
+
+    rows: List[AdBlockEvaluation] = []
+    # Raw EasyList rules applied to SW request URLs (a filter-level check,
+    # outside any extension): catches a small share of click endpoints.
+    easylist_blocked = sum(
+        1 for r in sw_requests if filters.should_block(str(r.url))
+    )
+    rows.append(
+        AdBlockEvaluation(
+            mechanism="EasyList rules (offline match)",
+            total_requests=len(sw_requests),
+            blocked_requests=easylist_blocked,
+            sw_scripts_total=len(sw_scripts),
+            sw_scripts_matched=scripts_matched,
+        )
+    )
+    # Installed extensions: blind to SW traffic in this browser generation.
+    for extension in extensions:
+        blocked = sum(1 for r in sw_requests if extension.would_block(r))
+        rows.append(
+            AdBlockEvaluation(
+                mechanism=extension.name,
+                total_requests=len(sw_requests),
+                blocked_requests=blocked,
+                sw_scripts_total=len(sw_scripts),
+                sw_scripts_matched=scripts_matched,
+            )
+        )
+    return rows

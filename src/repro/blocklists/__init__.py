@@ -1,0 +1,19 @@
+"""URL blocklist models: VirusTotal and Google Safe Browsing stand-ins.
+
+The paper's central labeling inputs are these two services — and its
+central *finding* is their poor coverage of push-ad landing pages (<1% on
+first scan, 11.31% of all landing URLs a month later, GSB stuck at ~1%).
+Coverage, its growth over time, and false positives are all first-class
+model parameters here.
+"""
+
+from repro.blocklists.base import ScanVerdict, UrlTruth
+from repro.blocklists.virustotal import VirusTotalModel
+from repro.blocklists.gsb import GoogleSafeBrowsingModel
+
+__all__ = [
+    "ScanVerdict",
+    "UrlTruth",
+    "VirusTotalModel",
+    "GoogleSafeBrowsingModel",
+]

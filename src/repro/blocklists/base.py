@@ -1,0 +1,72 @@
+"""Shared blocklist machinery.
+
+Both blocklist models need: (a) a notion of ground truth per URL (what a
+perfect scanner would say) and (b) deterministic, URL-stable randomness so
+rescanning the same URL gives a consistent verdict and coverage only ever
+*grows* over time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.records import WpnRecord
+
+
+@dataclass(frozen=True)
+class ScanVerdict:
+    """The outcome of scanning one URL at one point in time."""
+
+    url: str
+    flagged: bool
+    positives: int = 0          # engines reporting malicious (VT)
+    total_engines: int = 0
+
+    def __post_init__(self):
+        if self.flagged and self.positives < 1:
+            raise ValueError("flagged verdicts must have at least 1 positive")
+
+
+class UrlTruth:
+    """Ground truth oracle over landing URLs, built from crawl records.
+
+    Maps full URL -> actually-malicious. Unknown URLs are assumed benign.
+    """
+
+    def __init__(self, truth: Optional[Mapping[str, bool]] = None):
+        self._truth: Dict[str, bool] = dict(truth or {})
+
+    @classmethod
+    def from_records(cls, records: Iterable[WpnRecord]) -> "UrlTruth":
+        truth: Dict[str, bool] = {}
+        for record in records:
+            if record.landing_url is not None:
+                # A URL is malicious if any WPN leading there was malicious.
+                truth[record.landing_url] = (
+                    truth.get(record.landing_url, False) or record.truth.malicious
+                )
+        return cls(truth)
+
+    def is_malicious(self, url: str) -> bool:
+        return self._truth.get(url, False)
+
+    def __len__(self) -> int:
+        return len(self._truth)
+
+    def malicious_urls(self) -> list:
+        return sorted(u for u, m in self._truth.items() if m)
+
+
+def url_unit_draw(url: str, salt: str, seed: int) -> float:
+    """A deterministic uniform(0,1) draw keyed by (url, salt, seed).
+
+    Stable across processes and rescans: the same URL always draws the same
+    value for the same purpose, so detection decisions are consistent and
+    time-lagged coverage is nested (early detections are a subset of late).
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{salt}|{url}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64

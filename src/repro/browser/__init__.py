@@ -1,0 +1,40 @@
+"""Instrumented browser model.
+
+The paper instruments Chromium's C++ internals (``PermissionContextBase``,
+``ServiceWorkerRegistrationNotifications::showNotification``,
+``MessageCenterNotificationManager::Add`` and
+``WebNotificationDelegate::Click``) to log and automate every step of the
+WPN lifecycle. This package models the browser at exactly that hook
+granularity: each hook emits a structured event into an event log that the
+crawler's harvest step later mines.
+"""
+
+from repro.browser.events import BrowserEvent, EventKind, EventLog
+from repro.browser.permissions import PermissionManager, QuietUiPolicy
+from repro.browser.service_worker import ServiceWorkerRegistration, ServiceWorkerRuntime
+from repro.browser.notifications import NotificationCenter, WebNotification
+from repro.browser.network import NetworkRequest, NetworkStack
+from repro.browser.browser import ClickOutcome, InstrumentedBrowser
+from repro.browser.android import AccessibilityService, AndroidDevice, AndroidNotificationTray
+from repro.browser.tracking import CookieJar, CrossSessionTracker
+
+__all__ = [
+    "BrowserEvent",
+    "EventKind",
+    "EventLog",
+    "PermissionManager",
+    "QuietUiPolicy",
+    "ServiceWorkerRegistration",
+    "ServiceWorkerRuntime",
+    "NotificationCenter",
+    "WebNotification",
+    "NetworkRequest",
+    "NetworkStack",
+    "ClickOutcome",
+    "InstrumentedBrowser",
+    "AndroidDevice",
+    "AndroidNotificationTray",
+    "AccessibilityService",
+    "CookieJar",
+    "CrossSessionTracker",
+]

@@ -1,0 +1,67 @@
+"""Browser network stack: request records and redirect following."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.events import EventKind, EventLog
+from repro.webenv.landing import RedirectChain
+from repro.webenv.urls import Url
+
+
+@dataclass(frozen=True)
+class NetworkRequest:
+    """One observed network request.
+
+    ``initiator`` distinguishes requests issued by pages from those issued
+    by service workers (only the former are visible to extensions in the
+    browser generation the paper studied).
+    """
+
+    url: Url
+    initiator: str                       # "page" | "service_worker"
+    sw_script_url: Optional[str] = None  # set when initiator is a SW
+    purpose: str = "navigation"          # navigation | redirect | ad_resolve | click_tracking
+
+    def __post_init__(self):
+        if self.initiator not in ("page", "service_worker"):
+            raise ValueError(f"unknown initiator: {self.initiator!r}")
+        if self.initiator == "service_worker" and not self.sw_script_url:
+            raise ValueError("service worker requests must carry their script URL")
+
+
+class NetworkStack:
+    """Follows redirect chains, logging every hop."""
+
+    def __init__(self, event_log: EventLog):
+        self._log = event_log
+        self._requests: List[NetworkRequest] = []
+
+    @property
+    def requests(self) -> List[NetworkRequest]:
+        return list(self._requests)
+
+    def record(self, request: NetworkRequest, now_min: float) -> None:
+        """Record a request that was issued outside of a navigation."""
+        self._requests.append(request)
+
+    def navigate(self, url: Url, now_min: float) -> None:
+        """A top-level page navigation request."""
+        request = NetworkRequest(url=url, initiator="page", purpose="navigation")
+        self._requests.append(request)
+        self._log.emit(EventKind.NAVIGATION, now_min, url=str(url))
+
+    def follow_chain(self, chain: RedirectChain, now_min: float) -> Url:
+        """Follow a click's redirect chain hop by hop; returns landing URL."""
+        self.navigate(chain.click_url, now_min)
+        for previous, target in zip(chain.hops, chain.hops[1:]):
+            request = NetworkRequest(url=target, initiator="page", purpose="redirect")
+            self._requests.append(request)
+            self._log.emit(
+                EventKind.REDIRECT,
+                now_min,
+                from_url=str(previous),
+                to_url=str(target),
+            )
+        return chain.landing_url

@@ -1,0 +1,117 @@
+"""Notification permission handling.
+
+Models Chromium's ``PermissionContextBase`` with the paper's two
+instrumentation points (``RequestPermission``/``PermissionDecided``), the
+crawler's auto-grant policy, permission persistence per origin, the JS
+"double permission" pre-prompt some sites adopted, and Chrome 80's quiet
+notification UI (which the paper found blocked none of its revisited sites,
+for lack of crowd opt-in data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.browser.events import EventKind, EventLog
+from repro.webenv.website import Website
+
+
+@dataclass(frozen=True)
+class QuietUiPolicy:
+    """Chrome 80's quieter permission UI model.
+
+    The real feature suppresses prompts from origins with a low crowd-sourced
+    notification opt-in rate; it only acts on origins for which Chrome has
+    collected data. ``crowd_coverage`` is the probability an origin has such
+    data (the paper's April 2020 test behaved as coverage ~ 0).
+    """
+
+    enabled: bool = False
+    optin_threshold: float = 0.10
+    crowd_coverage: float = 0.0
+
+    def suppresses(self, site: Website, has_crowd_data: bool) -> bool:
+        if not self.enabled or not has_crowd_data:
+            return False
+        return site.opt_in_rate < self.optin_threshold
+
+
+class PermissionManager:
+    """Per-origin notification permission state + instrumentation hooks."""
+
+    GRANTED = "granted"
+    DENIED = "denied"
+    SUPPRESSED = "suppressed"  # quiet UI swallowed the prompt
+
+    def __init__(
+        self,
+        event_log: EventLog,
+        auto_grant: bool = True,
+        interact_with_double_prompts: bool = True,
+        quiet_ui: Optional[QuietUiPolicy] = None,
+    ):
+        self._log = event_log
+        self._auto_grant = auto_grant
+        self._interact_double = interact_with_double_prompts
+        self._quiet_ui = quiet_ui or QuietUiPolicy()
+        self._decisions: Dict[str, str] = {}
+
+    def state(self, origin: str) -> Optional[str]:
+        """Persisted decision for an origin, if any."""
+        return self._decisions.get(origin)
+
+    def request_permission(
+        self, site: Website, now_min: float, has_crowd_data: bool = False
+    ) -> str:
+        """Run a site's permission request through the full prompt flow.
+
+        Returns the resulting decision. Decisions persist per origin across
+        visits and browser restarts, as in real browsers.
+        """
+        origin = site.url.origin
+        existing = self._decisions.get(origin)
+        if existing is not None:
+            return existing
+
+        # Double-permission pre-prompt: a JS dialog shown *before* the real
+        # browser prompt; if the crawler refuses to interact with it, the
+        # browser prompt never fires.
+        if site.double_permission:
+            self._log.emit(
+                EventKind.DOUBLE_PERMISSION_PROMPT, now_min, origin=origin
+            )
+            if not self._interact_double:
+                return self.DENIED
+
+        self._log.emit(
+            EventKind.PERMISSION_REQUESTED,
+            now_min,
+            origin=origin,
+            url=str(site.url),
+            seed_keyword=site.seed_keyword,
+        )
+
+        if self._quiet_ui.suppresses(site, has_crowd_data):
+            decision = self.SUPPRESSED
+        elif self._auto_grant:
+            decision = self.GRANTED
+        else:
+            decision = self.DENIED
+
+        self._decisions[origin] = decision
+        self._log.emit(
+            EventKind.PERMISSION_DECIDED,
+            now_min,
+            origin=origin,
+            decision=decision,
+        )
+        return decision
+
+    def revoke(self, origin: str) -> None:
+        """User revokes the permission in settings (rarely exercised)."""
+        self._decisions.pop(origin, None)
+
+    @property
+    def granted_origins(self) -> Dict[str, str]:
+        return {o: d for o, d in self._decisions.items() if d == self.GRANTED}

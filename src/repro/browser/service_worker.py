@@ -1,0 +1,176 @@
+"""Service worker runtime.
+
+A service worker is registered against an origin, subscribes to push, and
+handles two events the instrumentation cares about: ``push`` (which calls
+``showNotification``) and ``notificationclick`` (which pings the ad server
+and opens the landing navigation). SW-issued network requests are logged
+separately from page requests — that distinction is what makes Table 6
+possible (extensions cannot see SW requests at all).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.events import EventKind, EventLog
+from repro.browser.network import NetworkRequest
+from repro.push.fcm import PushDelivery
+from repro.webenv.urls import Url
+
+#: Share of publisher embeds still running a legacy SDK revision.
+LEGACY_SDK_RATE = 0.03
+
+
+def _is_legacy_embed(origin: str, network_name: str) -> bool:
+    """Origin-stable draw: did this publisher ever upgrade its embed?"""
+    import hashlib
+
+    digest = hashlib.blake2b(
+        f"legacy|{network_name}|{origin}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64 < LEGACY_SDK_RATE
+
+
+def _api_host(serving_domain: str, legacy: bool) -> str:
+    return f"legacy-api.{serving_domain}" if legacy else f"api.{serving_domain}"
+
+
+@dataclass(frozen=True)
+class ServiceWorkerRegistration:
+    """One registered service worker: origin + the script it runs.
+
+    ``legacy_sdk`` marks publishers still embedding an old SDK revision
+    whose API endpoints (``legacy-api.<network>``) crowd-sourced filter
+    lists eventually learned — the only slice of push traffic EasyList
+    catches (Table 6's "less than 2%").
+    """
+
+    sw_id: str
+    origin: str
+    scope_url: str            # page URL that registered it
+    script_url: str           # where the SW code was fetched from
+    network_name: Optional[str]  # ad network controlling it, if any
+    registered_at_min: float
+    legacy_sdk: bool = False
+
+    @property
+    def is_ad_sw(self) -> bool:
+        return self.network_name is not None
+
+
+class ServiceWorkerRuntime:
+    """Executes SW event handlers and logs their observable side effects."""
+
+    def __init__(self, event_log: EventLog, network_domains: dict):
+        self._log = event_log
+        self._network_domains = dict(network_domains)
+        self._counter = itertools.count(1)
+        self._registrations: List[ServiceWorkerRegistration] = []
+
+    @property
+    def registrations(self) -> List[ServiceWorkerRegistration]:
+        return list(self._registrations)
+
+    def register(
+        self,
+        origin: str,
+        scope_url: str,
+        network_name: Optional[str],
+        now_min: float,
+    ) -> ServiceWorkerRegistration:
+        """Register a SW for the origin (ad-network SW or the site's own).
+
+        Ad-network SWs are served from the publisher origin (same-origin
+        rule) but import the network's code; the script URL encodes both,
+        which is what EasyList-style rules get to match against.
+        """
+        legacy = False
+        if network_name is not None:
+            serving = self._network_domains.get(network_name)
+            if serving is None:
+                raise KeyError(f"unknown ad network: {network_name!r}")
+            stem = serving.split(".")[0]
+            script_url = f"{origin}/sw/{stem}-push-sw.js"
+            # A small, origin-stable slice of publishers never upgraded
+            # their embed; their SWs still talk to the legacy API hosts.
+            legacy = _is_legacy_embed(origin, network_name)
+        else:
+            script_url = f"{origin}/sw.js"
+        registration = ServiceWorkerRegistration(
+            sw_id=f"sw{next(self._counter):06d}",
+            origin=origin,
+            scope_url=scope_url,
+            script_url=script_url,
+            network_name=network_name,
+            registered_at_min=now_min,
+            legacy_sdk=legacy,
+        )
+        self._registrations.append(registration)
+        self._log.emit(
+            EventKind.SW_REGISTERED,
+            now_min,
+            sw_id=registration.sw_id,
+            origin=origin,
+            scope_url=scope_url,
+            script_url=script_url,
+            network=network_name,
+        )
+        return registration
+
+    def handle_push(
+        self, registration: ServiceWorkerRegistration, delivery: PushDelivery,
+        now_min: float,
+    ) -> List[NetworkRequest]:
+        """The SW's ``push`` handler: may fetch ad config before showing.
+
+        Returns the SW-issued network requests (empty for site-own alerts,
+        which carry their payload inline).
+        """
+        requests: List[NetworkRequest] = []
+        if registration.network_name is not None:
+            serving = self._network_domains[registration.network_name]
+            request = NetworkRequest(
+                url=Url(
+                    host=_api_host(serving, registration.legacy_sdk),
+                    path="/v1/ad/resolve",
+                    query=f"reg={delivery.subscription.registration_id}",
+                ),
+                initiator="service_worker",
+                sw_script_url=registration.script_url,
+                purpose="ad_resolve",
+            )
+            requests.append(request)
+            self._emit_sw_request(request, now_min)
+        return requests
+
+    def handle_notification_click(
+        self, registration: ServiceWorkerRegistration, now_min: float
+    ) -> List[NetworkRequest]:
+        """The SW's ``notificationclick`` handler: click-tracking ping."""
+        requests: List[NetworkRequest] = []
+        if registration.network_name is not None:
+            serving = self._network_domains[registration.network_name]
+            request = NetworkRequest(
+                url=Url(
+                    host=_api_host(serving, registration.legacy_sdk),
+                    path="/v1/click/report",
+                    query="evt=notification_click",
+                ),
+                initiator="service_worker",
+                sw_script_url=registration.script_url,
+                purpose="click_tracking",
+            )
+            requests.append(request)
+            self._emit_sw_request(request, now_min)
+        return requests
+
+    def _emit_sw_request(self, request: NetworkRequest, now_min: float) -> None:
+        self._log.emit(
+            EventKind.SW_NETWORK_REQUEST,
+            now_min,
+            url=str(request.url),
+            sw_script_url=request.sw_script_url,
+            purpose=request.purpose,
+        )

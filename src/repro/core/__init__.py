@@ -1,0 +1,49 @@
+"""PushAdMiner's data analysis module (the paper's core contribution).
+
+Pipeline (paper section 5): featurize WPNs (message text + landing URL
+path), compute pairwise distances (soft cosine + Jaccard), cluster with
+average-linkage agglomerative clustering cut at the best silhouette score,
+identify ad campaigns (multi-source clusters), label malicious clusters via
+URL blocklists + guilt-by-association, then meta-cluster over shared
+landing domains to recover campaign operations and suspicious ads.
+"""
+
+from repro.core.records import WpnRecord, WpnTruth
+from repro.core.features import WpnFeatures, extract_features
+from repro.core.textsim import SoftCosineModel
+from repro.core.urlsim import url_path_distance_matrix
+from repro.core.distance import DistanceMatrices, compute_distances
+from repro.core.clustering import AgglomerativeClusterer, Linkage
+from repro.core.silhouette import average_silhouette
+from repro.core.campaigns import WpnCluster, build_clusters, is_ad_campaign
+from repro.core.labeling import LabelingResult, label_malicious_clusters
+from repro.core.metacluster import MetaCluster, build_meta_clusters
+from repro.core.suspicious import SuspicionResult, find_suspicious
+from repro.core.verification import ManualVerificationOracle
+from repro.core.pipeline import PushAdMiner, PipelineResult
+
+__all__ = [
+    "WpnRecord",
+    "WpnTruth",
+    "WpnFeatures",
+    "extract_features",
+    "SoftCosineModel",
+    "url_path_distance_matrix",
+    "DistanceMatrices",
+    "compute_distances",
+    "AgglomerativeClusterer",
+    "Linkage",
+    "average_silhouette",
+    "WpnCluster",
+    "build_clusters",
+    "is_ad_campaign",
+    "LabelingResult",
+    "label_malicious_clusters",
+    "MetaCluster",
+    "build_meta_clusters",
+    "SuspicionResult",
+    "find_suspicious",
+    "ManualVerificationOracle",
+    "PushAdMiner",
+    "PipelineResult",
+]

@@ -1,0 +1,51 @@
+"""Feature extraction from WPN records (paper section 5.1.1).
+
+Two feature streams per notification:
+
+* message text — the concatenated title + body, tokenized to words;
+* landing URL path — directory components, page name and query-string
+  parameter *names*; the domain and parameter values are deliberately
+  excluded (campaigns rotate domains and randomize values).
+
+Everything else collected by the browser (domains, screenshots, IPs) is
+kept out of the clustering features and used only for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.records import WpnRecord
+from repro.util.textproc import tokenize_text, tokenize_url_path
+
+
+@dataclass(frozen=True)
+class WpnFeatures:
+    """The clustering features of one WPN."""
+
+    text_tokens: Tuple[str, ...]
+    url_tokens: frozenset
+
+    @property
+    def has_url_tokens(self) -> bool:
+        return len(self.url_tokens) > 0
+
+
+def extract_features(record: WpnRecord) -> WpnFeatures:
+    """Featurize one record. Requires a valid landing page."""
+    landing = record.landing
+    if landing is None:
+        raise ValueError(
+            f"record {record.wpn_id} has no landing page; filter invalid "
+            "records before feature extraction"
+        )
+    return WpnFeatures(
+        text_tokens=tuple(tokenize_text(record.text)),
+        url_tokens=frozenset(tokenize_url_path(landing.path, landing.query)),
+    )
+
+
+def extract_all(records: Sequence[WpnRecord]) -> List[WpnFeatures]:
+    """Featurize a corpus of valid records, preserving order."""
+    return [extract_features(r) for r in records]

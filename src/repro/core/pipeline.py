@@ -1,0 +1,276 @@
+"""The end-to-end PushAdMiner analysis pipeline.
+
+Wires together every analysis stage over a harvested
+:class:`~repro.crawler.harvest.WpnDataset`:
+
+    valid WPNs -> features -> distances -> clustering (silhouette cut)
+    -> ad campaigns -> blocklist labeling + propagation
+    -> meta clustering -> suspicion rules -> manual verification
+    -> measurement tables
+
+The resulting :class:`PipelineResult` exposes every intermediate artifact
+plus the stage counters of Table 4 and the headline numbers of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.blocklists.base import UrlTruth
+from repro.blocklists.gsb import GoogleSafeBrowsingModel
+from repro.blocklists.virustotal import VirusTotalModel
+from repro.core.campaigns import (
+    WpnCluster,
+    ad_campaign_clusters,
+    build_clusters,
+    is_ad_campaign,
+)
+from repro.core.clustering import Linkage, cluster_records
+from repro.core.distance import DistanceMatrices, compute_distances
+from repro.core.features import extract_all
+from repro.core.labeling import LabelingResult, label_malicious_clusters
+from repro.core.metacluster import MetaCluster, build_meta_clusters, meta_of_cluster
+from repro.core.records import WpnRecord
+from repro.core.suspicious import SuspicionResult, find_suspicious
+from repro.core.textsim import SoftCosineModel
+from repro.core.verification import ManualVerificationOracle
+
+
+@dataclass
+class StageRow:
+    """One row of Table 4."""
+
+    stage: str
+    n_clusters: int
+    n_ad_related: int
+    n_wpn_ads: int
+    n_known_malicious: int
+    n_additional_malicious: int
+
+
+@dataclass
+class PipelineResult:
+    """Every artifact of one full pipeline run."""
+
+    records: List[WpnRecord]
+    distances: DistanceMatrices
+    linkage: Linkage
+    cut_threshold: float
+    silhouette: float
+    labels: np.ndarray
+    clusters: List[WpnCluster]
+    campaign_cluster_ids: Set[int]
+    labeling: LabelingResult
+    metas: List[MetaCluster]
+    suspicion: SuspicionResult
+    oracle: ManualVerificationOracle
+
+    # ------------------------------------------------------------------
+    # Ad / malicious bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def campaign_ad_ids(self) -> Set[str]:
+        """WPNs inside ad-campaign clusters (stage-1 ads)."""
+        out: Set[str] = set()
+        for cluster in self.clusters:
+            if cluster.cluster_id in self.campaign_cluster_ids:
+                out.update(cluster.wpn_ids)
+        return out
+
+    @property
+    def all_ad_ids(self) -> Set[str]:
+        """All WPN ads: campaign-cluster ads + meta-propagated ads."""
+        return self.campaign_ad_ids | self.suspicion.additional_ad_ids
+
+    @property
+    def malicious_ad_ids(self) -> Set[str]:
+        """Ads confirmed malicious by any stage."""
+        confirmed = (
+            self.labeling.known_malicious_ids
+            | self.labeling.propagated_confirmed_ids
+            | self.suspicion.confirmed_malicious_ids
+        )
+        return confirmed & self.all_ad_ids
+
+    @property
+    def malicious_campaign_cluster_ids(self) -> Set[int]:
+        """Ad-campaign clusters with at least one confirmed-malicious WPN."""
+        malicious = (
+            self.labeling.known_malicious_ids
+            | self.labeling.propagated_confirmed_ids
+            | self.suspicion.confirmed_malicious_ids
+        )
+        out: Set[int] = set()
+        for cluster in self.clusters:
+            if cluster.cluster_id not in self.campaign_cluster_ids:
+                continue
+            if cluster.wpn_ids & malicious:
+                out.add(cluster.cluster_id)
+        return out
+
+    @property
+    def residual_singleton_clusters(self) -> List[WpnCluster]:
+        """Singletons whose meta cluster holds no non-singleton cluster."""
+        index = meta_of_cluster(self.metas)
+        out = []
+        for cluster in self.clusters:
+            if not cluster.is_singleton:
+                continue
+            meta = index[cluster.cluster_id]
+            if all(c.is_singleton for c in meta.clusters):
+                out.append(cluster)
+        return out
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def stage_rows(self) -> List[StageRow]:
+        """Table 4: per-stage counters plus the combined totals row."""
+        campaign_ads = self.campaign_ad_ids
+        known = self.labeling.known_malicious_ids
+        row1 = StageRow(
+            stage="After WPN Clustering",
+            n_clusters=len(self.clusters),
+            n_ad_related=len(self.campaign_cluster_ids),
+            n_wpn_ads=len(campaign_ads),
+            n_known_malicious=len(known & campaign_ads),
+            n_additional_malicious=len(
+                self.labeling.propagated_confirmed_ids & campaign_ads
+            ),
+        )
+        additional_ads = self.suspicion.additional_ad_ids
+        row2 = StageRow(
+            stage="After Meta Clustering",
+            n_clusters=len(self.metas),
+            n_ad_related=len(self.suspicion.ad_related_meta_ids),
+            n_wpn_ads=len(additional_ads),
+            n_known_malicious=len(
+                self.suspicion.known_malicious_additional_ad_ids
+            ),
+            n_additional_malicious=len(
+                self.suspicion.confirmed_malicious_ids & self.all_ad_ids
+            ),
+        )
+        total = StageRow(
+            stage="Total",
+            n_clusters=row1.n_clusters,
+            n_ad_related=row1.n_ad_related,
+            n_wpn_ads=row1.n_wpn_ads + row2.n_wpn_ads,
+            n_known_malicious=row1.n_known_malicious + row2.n_known_malicious,
+            n_additional_malicious=(
+                row1.n_additional_malicious + row2.n_additional_malicious
+            ),
+        )
+        return [row1, row2, total]
+
+    def summary(self) -> Dict[str, float]:
+        """Table 3: the headline measurement numbers."""
+        ads = self.all_ad_ids
+        malicious_ads = self.malicious_ad_ids
+        campaigns = self.campaign_cluster_ids
+        malicious_campaigns = self.malicious_campaign_cluster_ids
+        return {
+            "wpns_clustered": len(self.records),
+            "wpn_clusters": len(self.clusters),
+            "singleton_clusters": sum(1 for c in self.clusters if c.is_singleton),
+            "ad_campaigns": len(campaigns),
+            "wpn_ads": len(ads),
+            "malicious_campaigns": len(malicious_campaigns),
+            "malicious_ads": len(malicious_ads),
+            "malicious_ad_pct": (
+                round(100.0 * len(malicious_ads) / len(ads), 1) if ads else 0.0
+            ),
+            "meta_clusters": len(self.metas),
+            "suspicious_meta_clusters": len(self.suspicion.suspicious_meta_ids),
+            "residual_singletons": len(self.residual_singleton_clusters),
+        }
+
+
+class PushAdMiner:
+    """One-call driver for the full analysis over a record corpus."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        vt_early_rate: float = 0.035,
+        vt_late_rate: float = 0.50,
+        gsb_rate: float = 0.03,
+        vt_fp_rate: float = 0.004,
+        unconfirmable_rate: float = 0.02,
+        text_model: Optional[SoftCosineModel] = None,
+        cut_threshold: Optional[float] = None,
+        months_elapsed: int = 1,
+    ):
+        self.seed = seed
+        self.vt_early_rate = vt_early_rate
+        self.vt_late_rate = vt_late_rate
+        self.gsb_rate = gsb_rate
+        self.vt_fp_rate = vt_fp_rate
+        self.unconfirmable_rate = unconfirmable_rate
+        self.text_model = text_model
+        self.cut_threshold = cut_threshold
+        self.months_elapsed = months_elapsed
+
+    @classmethod
+    def for_dataset(cls, dataset, **overrides) -> "PushAdMiner":
+        """Build a miner whose blocklist parameters come from the scenario."""
+        config = dataset.config
+        params = dict(
+            seed=config.seed,
+            vt_early_rate=config.vt_early_rate,
+            vt_late_rate=config.vt_late_rate,
+            gsb_rate=config.gsb_rate,
+            vt_fp_rate=config.vt_benign_fp_rate,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def run(self, records: Sequence[WpnRecord]) -> PipelineResult:
+        """Analyze a corpus of *valid* WPN records end to end."""
+        records = [r for r in records if r.valid]
+        if not records:
+            raise ValueError("no valid records to analyze")
+
+        distances = compute_distances(records, text_model=self.text_model)
+        labels, linkage, threshold, score = cluster_records(
+            distances.total, threshold=self.cut_threshold
+        )
+        clusters = build_clusters(records, labels)
+        campaign_ids = {c.cluster_id for c in ad_campaign_clusters(clusters)}
+
+        truth = UrlTruth.from_records(records)
+        virustotal = VirusTotalModel(
+            truth,
+            seed=self.seed,
+            early_rate=self.vt_early_rate,
+            late_rate=self.vt_late_rate,
+            fp_rate=self.vt_fp_rate,
+        )
+        gsb = GoogleSafeBrowsingModel(truth, seed=self.seed, coverage=self.gsb_rate)
+        oracle = ManualVerificationOracle(
+            seed=self.seed, unconfirmable_rate=self.unconfirmable_rate
+        )
+
+        labeling = label_malicious_clusters(
+            clusters, virustotal, gsb, oracle, months_elapsed=self.months_elapsed
+        )
+        metas = build_meta_clusters(clusters)
+        suspicion = find_suspicious(metas, labeling, oracle)
+
+        return PipelineResult(
+            records=list(records),
+            distances=distances,
+            linkage=linkage,
+            cut_threshold=threshold,
+            silhouette=score,
+            labels=labels,
+            clusters=clusters,
+            campaign_cluster_ids=campaign_ids,
+            labeling=labeling,
+            metas=metas,
+            suspicion=suspicion,
+            oracle=oracle,
+        )

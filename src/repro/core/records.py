@@ -1,0 +1,96 @@
+"""WPN records: the dataset the analysis pipeline mines.
+
+A ``WpnRecord`` holds exactly the observables the paper's instrumented
+browser logs for one push notification: source page, message metadata,
+click outcome, redirect chain and landing page details. Generator ground
+truth rides along in a separate ``WpnTruth`` object that the *analysis*
+modules never read — only the evaluation/verification oracle does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.webenv.domains import effective_second_level_domain
+from repro.webenv.urls import Url
+
+
+@dataclass(frozen=True)
+class WpnTruth:
+    """Generator-side ground truth for one WPN (hidden from the miner)."""
+
+    kind: str                     # "ad" | "alert"
+    family_name: str
+    category: str
+    campaign_id: Optional[str]
+    operation_id: Optional[str]
+    malicious: bool
+    is_one_off: bool
+
+
+@dataclass(frozen=True)
+class WpnRecord:
+    """One collected web push notification with its full click trail."""
+
+    wpn_id: str
+    platform: str                 # "desktop" | "mobile"
+    source_url: str
+    network_name: Optional[str]   # ad network SW, None for site-own SW
+    sw_script_url: str
+    title: str
+    body: str
+    icon_url: str
+    sent_at_min: float
+    shown_at_min: float
+    clicked_at_min: Optional[float]
+    valid: bool                   # click produced an analyzable landing page
+    landing_url: Optional[str]
+    redirect_hops: Tuple[str, ...]
+    visual_hash: Optional[str]
+    landing_ip: Optional[str]
+    landing_registrant: Optional[str]
+    truth: WpnTruth
+    page_signals: Tuple[str, ...] = ()  # elements seen on the landing page
+                                        # (forms, phone numbers, timers...)
+
+    def __post_init__(self):
+        if self.platform not in ("desktop", "mobile"):
+            raise ValueError(f"unknown platform: {self.platform!r}")
+        if self.valid and self.landing_url is None:
+            raise ValueError("valid records must carry a landing URL")
+
+    # ------------------------------------------------------------------
+    # Derived observables used by the clustering features
+    # ------------------------------------------------------------------
+    @property
+    def source_domain(self) -> str:
+        return Url.parse(self.source_url).host
+
+    @property
+    def source_etld1(self) -> str:
+        """Effective second-level domain of the notifying website."""
+        return effective_second_level_domain(self.source_domain)
+
+    @property
+    def text(self) -> str:
+        """Concatenated title + body, the message-text feature."""
+        return f"{self.title} {self.body}"
+
+    @property
+    def landing(self) -> Optional[Url]:
+        return Url.parse(self.landing_url) if self.landing_url else None
+
+    @property
+    def landing_domain(self) -> Optional[str]:
+        landing = self.landing
+        return landing.host if landing else None
+
+    @property
+    def landing_etld1(self) -> Optional[str]:
+        domain = self.landing_domain
+        return effective_second_level_domain(domain) if domain else None
+
+    @property
+    def delivery_latency_min(self) -> float:
+        return self.shown_at_min - self.sent_at_min

@@ -1,0 +1,57 @@
+"""Average silhouette score over a precomputed distance matrix.
+
+Used to select the dendrogram cut (paper section 5.1.1). Vectorized:
+per-point cluster distance sums come from one matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def silhouette_samples(distances: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-point silhouette values.
+
+    Points in singleton clusters get 0 (the usual convention). Requires at
+    least two clusters; raises ``ValueError`` otherwise.
+    """
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError("distance matrix must be square")
+    n = distances.shape[0]
+    if labels.shape != (n,):
+        raise ValueError("labels must have one entry per row")
+    unique = np.unique(labels)
+    k = unique.size
+    if k < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+
+    # Map labels to 0..k-1 and build the indicator matrix.
+    remap = {int(label): idx for idx, label in enumerate(unique)}
+    compact = np.array([remap[int(label)] for label in labels])
+    indicator = np.zeros((n, k))
+    indicator[np.arange(n), compact] = 1.0
+    counts = indicator.sum(axis=0)
+
+    sums = distances @ indicator          # (n, k): sum of dists to each cluster
+    own_counts = counts[compact]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        a = sums[np.arange(n), compact] / np.maximum(own_counts - 1.0, 1.0)
+        mean_to = sums / np.maximum(counts[None, :], 1.0)
+    mean_to[np.arange(n), compact] = np.inf
+    b = mean_to.min(axis=1)
+
+    denom = np.maximum(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        s = np.where(denom > 0, (b - a) / np.maximum(denom, 1e-12), 0.0)
+    s[own_counts == 1] = 0.0  # singleton convention
+    return s
+
+
+def average_silhouette(distances: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette; -1.0 for degenerate labelings (k < 2 or k == n)."""
+    n = distances.shape[0]
+    k = np.unique(labels).size
+    if k < 2 or k >= n:
+        return -1.0
+    return float(silhouette_samples(distances, labels).mean())

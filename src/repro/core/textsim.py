@@ -1,0 +1,138 @@
+"""Soft cosine similarity over WPN message text.
+
+The paper trains Word2Vec on the WPN corpus, builds a term-similarity
+matrix, and feeds it with bag-of-words vectors into gensim's
+``softcossim``. Offline we implement the same measure from first
+principles:
+
+* word embeddings — a pluggable backend (see
+  :mod:`repro.core.embeddings`): PPMI + truncated SVD by default (the
+  count-based equivalent of word2vec's SGNS objective), or an actual SGNS
+  trainer;
+* term similarity — cosine between word embeddings;
+* soft cosine — the bilinear form ``a'Sb / sqrt(a'Sa * b'Sb)``. With
+  ``S = E E'`` (row-normalized embeddings) this reduces to the cosine of
+  summed word embeddings, which vectorizes to one matrix product for the
+  whole corpus.
+
+Because a small corpus can make unrelated words spuriously similar, the
+final similarity blends the soft cosine with the exact bag-of-words cosine
+(``blend`` weight on the exact part); identical messages always score 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.embeddings import PpmiSvdEmbeddings, SgnsEmbeddings
+
+
+class SoftCosineModel:
+    """Trains embeddings on a token corpus; yields pairwise text distances.
+
+    ``backend`` selects the embedding trainer: ``"ppmi-svd"`` (default),
+    ``"sgns"`` (word2vec-style), or any object with a
+    ``fit(corpus) -> (vocabulary, embeddings)`` method.
+    """
+
+    def __init__(
+        self,
+        dimensions: int = 48,
+        blend: float = 0.5,
+        min_count: int = 1,
+        backend: Union[str, object] = "ppmi-svd",
+    ):
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must be in [0, 1]")
+        if dimensions < 2:
+            raise ValueError("dimensions must be >= 2")
+        self.dimensions = dimensions
+        self.blend = blend
+        self.min_count = min_count
+        self.backend = self._resolve_backend(backend)
+        self.vocabulary: Dict[str, int] = {}
+        self.embeddings: np.ndarray = np.zeros((0, dimensions))
+
+    def _resolve_backend(self, backend: Union[str, object]):
+        if backend == "ppmi-svd":
+            return PpmiSvdEmbeddings(self.dimensions, self.min_count)
+        if backend == "sgns":
+            return SgnsEmbeddings(self.dimensions, self.min_count)
+        if hasattr(backend, "fit"):
+            return backend
+        raise ValueError(f"unknown embedding backend: {backend!r}")
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, corpus: Sequence[Sequence[str]]) -> "SoftCosineModel":
+        """Train word embeddings on the tokenized corpus.
+
+        Co-occurrence is counted at message level (WPN messages are short,
+        so the whole message is the context window).
+        """
+        self.vocabulary, self.embeddings = self.backend.fit(corpus)
+        return self
+
+    # ------------------------------------------------------------------
+    # Similarity
+    # ------------------------------------------------------------------
+    def _bow_matrix(self, corpus: Sequence[Sequence[str]]) -> sparse.csr_matrix:
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for doc_idx, tokens in enumerate(corpus):
+            doc_counts: Dict[int, int] = {}
+            for token in tokens:
+                idx = self.vocabulary.get(token)
+                if idx is not None:
+                    doc_counts[idx] = doc_counts.get(idx, 0) + 1
+            for idx, count in doc_counts.items():
+                rows.append(doc_idx)
+                cols.append(idx)
+                data.append(float(count))
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(corpus), len(self.vocabulary))
+        )
+
+    def similarity_matrix(self, corpus: Sequence[Sequence[str]]) -> np.ndarray:
+        """Pairwise text similarity in [0, 1] for the tokenized corpus."""
+        if not self.vocabulary:
+            raise RuntimeError("model is not fitted; call fit() first")
+        bow = self._bow_matrix(corpus)
+
+        # Exact bag-of-words cosine.
+        norms = np.sqrt(np.asarray(bow.multiply(bow).sum(axis=1)).ravel())
+        norms[norms == 0.0] = 1.0
+        bow_normed = sparse.diags(1.0 / norms) @ bow
+        cos_exact = np.asarray((bow_normed @ bow_normed.T).todense())
+
+        # Soft cosine via summed word embeddings.
+        doc_emb = bow @ self.embeddings
+        raw_norms = np.linalg.norm(doc_emb, axis=1)
+        safe_norms = np.where(raw_norms == 0.0, 1.0, raw_norms)
+        doc_emb = doc_emb / safe_norms[:, None]
+        cos_soft = doc_emb @ doc_emb.T
+        # Documents with a zero embedding (tiny vocabularies, all-OOV) have
+        # no soft-cosine signal; fall back to the exact cosine for pairs
+        # involving them so identical messages still score 1.
+        zero = raw_norms == 0.0
+        if zero.any():
+            fallback = np.outer(zero, np.ones_like(zero, dtype=bool))
+            fallback |= fallback.T
+            cos_soft = np.where(fallback, cos_exact, cos_soft)
+
+        sim = self.blend * cos_exact + (1.0 - self.blend) * cos_soft
+        np.clip(sim, 0.0, 1.0, out=sim)
+        np.fill_diagonal(sim, 1.0)
+        return sim
+
+    def distance_matrix(self, corpus: Sequence[Sequence[str]]) -> np.ndarray:
+        """``1 - similarity`` for the tokenized corpus (symmetric, 0 diag)."""
+        dist = 1.0 - self.similarity_matrix(corpus)
+        np.clip(dist, 0.0, 1.0, out=dist)
+        np.fill_diagonal(dist, 0.0)
+        return (dist + dist.T) / 2.0

@@ -1,0 +1,54 @@
+"""URL path distance: Jaccard over path tokens (paper section 5.1.1).
+
+Token sets come from the landing URL path (directory components + page
+name) and query-string parameter names; domains and values are excluded.
+The whole-corpus pairwise matrix is computed with one sparse product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+def url_path_distance_matrix(token_sets: Sequence[frozenset]) -> np.ndarray:
+    """Pairwise Jaccard distance between URL-path token sets.
+
+    Conventions (matching :func:`repro.util.textproc.jaccard_distance`):
+    two empty sets have distance 0; empty vs non-empty has distance 1.
+    """
+    n = len(token_sets)
+    vocabulary: Dict[str, int] = {}
+    for tokens in token_sets:
+        for token in tokens:
+            if token not in vocabulary:
+                vocabulary[token] = len(vocabulary)
+
+    if not vocabulary:
+        return np.zeros((n, n))
+
+    rows: List[int] = []
+    cols: List[int] = []
+    for i, tokens in enumerate(token_sets):
+        for token in tokens:
+            rows.append(i)
+            cols.append(vocabulary[token])
+    member = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n, len(vocabulary))
+    )
+
+    intersection = np.asarray((member @ member.T).todense())
+    sizes = np.asarray(member.sum(axis=1)).ravel()
+    union = sizes[:, None] + sizes[None, :] - intersection
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        distance = 1.0 - np.where(union > 0, intersection / np.maximum(union, 1e-12), 1.0)
+    # Both-empty pairs: union == 0 -> define distance 0.
+    empty = sizes == 0
+    both_empty = np.outer(empty, empty)
+    distance[both_empty] = 0.0
+    np.clip(distance, 0.0, 1.0, out=distance)
+    np.fill_diagonal(distance, 0.0)
+    return (distance + distance.T) / 2.0

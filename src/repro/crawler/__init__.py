@@ -1,0 +1,26 @@
+"""PushAdMiner's data collection module.
+
+Seeds URLs from the code-search engine, visits each in an isolated
+container session (auto-granting notification permissions), waits for push
+messages with the paper's suspend/resume policy, auto-clicks every WPN, and
+harvests the browser logs into a :class:`~repro.crawler.harvest.WpnDataset`.
+"""
+
+from repro.crawler.seeds import SeedDiscovery, SeedRow
+from repro.crawler.session import ContainerSession, SessionResult
+from repro.crawler.scheduler import CrawlScheduler
+from repro.crawler.desktop import DesktopCrawler
+from repro.crawler.mobile import MobileCrawler
+from repro.crawler.harvest import WpnDataset, run_full_crawl
+
+__all__ = [
+    "SeedDiscovery",
+    "SeedRow",
+    "ContainerSession",
+    "SessionResult",
+    "CrawlScheduler",
+    "DesktopCrawler",
+    "MobileCrawler",
+    "WpnDataset",
+    "run_full_crawl",
+]

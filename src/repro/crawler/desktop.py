@@ -1,0 +1,27 @@
+"""Desktop crawl driver (Linux + Docker farm in the paper)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.crawler.scheduler import CrawlScheduler
+from repro.crawler.seeds import SeedDiscovery
+from repro.crawler.session import SessionResult
+from repro.webenv.generator import WebEcosystem
+
+
+class DesktopCrawler:
+    """Visits every seed URL with an isolated desktop browser container."""
+
+    def __init__(self, ecosystem: WebEcosystem, rng: random.Random):
+        self.ecosystem = ecosystem
+        self.scheduler = CrawlScheduler(ecosystem, platform="desktop", rng=rng)
+
+    def crawl(self, discovery: SeedDiscovery) -> List[SessionResult]:
+        """Run the full desktop crawl over the discovered seed sites."""
+        return self.scheduler.crawl(discovery.seed_sites)
+
+    @property
+    def stats(self):
+        return self.scheduler.stats

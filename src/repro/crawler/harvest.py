@@ -1,0 +1,122 @@
+"""Harvesting: assemble session outputs into the WPN dataset.
+
+``run_full_crawl`` is the one-call entry point the examples and benchmarks
+use: generate (or accept) an ecosystem, discover seeds, run the desktop and
+mobile crawls, and return a :class:`WpnDataset` ready for the analysis
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.browser.network import NetworkRequest
+from repro.core.records import WpnRecord
+from repro.crawler.desktop import DesktopCrawler
+from repro.crawler.mobile import MobileCrawler
+from repro.crawler.scheduler import CrawlStats
+from repro.crawler.seeds import SeedDiscovery, discover_seeds
+from repro.crawler.session import SessionResult
+from repro.util.rng import RngFactory
+from repro.webenv.domains import effective_second_level_domain
+from repro.webenv.generator import WebEcosystem, generate_ecosystem
+from repro.webenv.scenario import ScenarioConfig
+
+
+@dataclass
+class WpnDataset:
+    """The collected corpus plus everything the measurement tables need."""
+
+    ecosystem: WebEcosystem
+    discovery: SeedDiscovery
+    records: List[WpnRecord]
+    desktop_stats: CrawlStats
+    mobile_stats: CrawlStats
+    sw_requests: List[NetworkRequest] = field(default_factory=list)
+    first_latencies_min: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ScenarioConfig:
+        return self.ecosystem.config
+
+    @property
+    def valid_records(self) -> List[WpnRecord]:
+        """WPNs whose click reached an analyzable landing page (the 12,262
+        of the paper); this is the clustering input."""
+        return [r for r in self.records if r.valid]
+
+    def records_for(self, platform: str) -> List[WpnRecord]:
+        return [r for r in self.records if r.platform == platform]
+
+    @property
+    def landing_domains(self) -> Set[str]:
+        """Distinct landing eTLD+1 across valid records."""
+        return {
+            r.landing_etld1 for r in self.valid_records if r.landing_etld1
+        }
+
+    def npr_domain_count(self) -> int:
+        return len(self.discovery.npr_domains())
+
+    def summary(self) -> Dict[str, int]:
+        """Headline crawl counters (pre-analysis)."""
+        return {
+            "seed_urls": self.discovery.total_urls,
+            "npr_urls": self.discovery.total_nprs,
+            "npr_domains": self.npr_domain_count(),
+            "collected_wpns": len(self.records),
+            "desktop_wpns": len(self.records_for("desktop")),
+            "mobile_wpns": len(self.records_for("mobile")),
+            "valid_wpns": len(self.valid_records),
+            "landing_domains": len(self.landing_domains),
+            "discovered_urls": (
+                self.desktop_stats.discovered_landing_urls
+                + self.mobile_stats.discovered_landing_urls
+            ),
+        }
+
+
+def _collect(results: List[SessionResult], dataset: WpnDataset) -> None:
+    for result in results:
+        dataset.records.extend(result.records)
+        dataset.sw_requests.extend(result.sw_requests)
+        if result.first_latency_min is not None:
+            dataset.first_latencies_min.append(result.first_latency_min)
+
+
+def run_full_crawl(
+    config: Optional[ScenarioConfig] = None,
+    ecosystem: Optional[WebEcosystem] = None,
+    run_mobile: bool = True,
+) -> WpnDataset:
+    """Generate the world (unless given), seed, and crawl it end to end."""
+    if ecosystem is None:
+        if config is None:
+            raise ValueError("provide a config or a pre-built ecosystem")
+        ecosystem = generate_ecosystem(config)
+    rngs = RngFactory(ecosystem.config.seed).child("crawl")
+
+    discovery = discover_seeds(ecosystem)
+    desktop = DesktopCrawler(ecosystem, rngs.stream("desktop"))
+    desktop_results = desktop.crawl(discovery)
+
+    if run_mobile:
+        mobile = MobileCrawler(ecosystem, rngs.stream("mobile"))
+        mobile_results = mobile.crawl(discovery)
+        mobile_stats = mobile.stats
+    else:
+        mobile_results = []
+        mobile_stats = CrawlStats()
+
+    dataset = WpnDataset(
+        ecosystem=ecosystem,
+        discovery=discovery,
+        records=[],
+        desktop_stats=desktop.stats,
+        mobile_stats=mobile_stats,
+    )
+    _collect(desktop_results, dataset)
+    _collect(mobile_results, dataset)
+    return dataset

@@ -1,0 +1,57 @@
+"""Mobile crawl driver.
+
+The paper ran a single physical Nexus 5 (emulators get served fewer
+malicious WPNs), automated through an Accessibility Service app with logs
+pulled over ADB. The device cannot parallelize like the Docker farm, so it
+visits a configurable fraction of the seed URLs in browser tabs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.crawler.scheduler import CrawlScheduler
+from repro.crawler.seeds import SeedDiscovery
+from repro.crawler.session import SessionResult
+from repro.webenv.generator import WebEcosystem
+from repro.webenv.website import Website
+
+
+class MobileCrawler:
+    """Visits a sample of seed URLs with the instrumented Android browser."""
+
+    def __init__(
+        self,
+        ecosystem: WebEcosystem,
+        rng: random.Random,
+        real_device: bool = True,
+    ):
+        """``real_device=False`` crawls with an emulator, from which
+        malicious campaigns withhold their payloads (section 6.1.3)."""
+        self.ecosystem = ecosystem
+        self._rng = rng
+        self.scheduler = CrawlScheduler(
+            ecosystem, platform="mobile", rng=rng, emulated=not real_device
+        )
+
+    def select_sites(self, discovery: SeedDiscovery) -> List[Website]:
+        """The NPR-site subset the single device has capacity to monitor.
+
+        Only sites that actually prompt are worth the device's limited tab
+        budget (the desktop farm already established which ones do).
+        """
+        fraction = self.ecosystem.config.mobile_visit_fraction
+        candidates = discovery.npr_sites()
+        count = int(round(len(candidates) * fraction))
+        if count >= len(candidates):
+            return list(candidates)
+        return self._rng.sample(candidates, count)
+
+    def crawl(self, discovery: SeedDiscovery) -> List[SessionResult]:
+        """Run the mobile crawl over the selected site sample."""
+        return self.scheduler.crawl(self.select_sites(discovery))
+
+    @property
+    def stats(self):
+        return self.scheduler.stats

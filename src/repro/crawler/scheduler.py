@@ -1,0 +1,156 @@
+"""Crawl scheduling: many container sessions over the study window.
+
+The paper staggered 20-50 parallel Docker containers over two months; what
+matters for the dataset is *which* URLs get sessions and when, so the
+scheduler assigns each seed URL a start time, runs its session, and feeds
+click-discovered landing URLs (that request permission) back into the queue
+as second-wave sessions — that is how 10,898 additional URLs entered the
+paper's crawl.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crawler.session import ContainerSession, LandingLead, SessionResult
+from repro.push.fcm import FcmService
+from repro.webenv.content import ALERT_FAMILIES
+from repro.webenv.generator import WebEcosystem
+from repro.webenv.urls import Url
+from repro.webenv.website import Website, publisher_page_source
+
+
+@dataclass
+class CrawlStats:
+    """Aggregate counters the measurement sections report."""
+
+    visited_urls: int = 0
+    npr_urls: int = 0
+    granted_urls: int = 0
+    registered_sw_urls: int = 0
+    discovered_landing_urls: int = 0
+    second_wave_urls: int = 0
+    notifications_collected: int = 0
+    notifications_valid: int = 0
+
+
+class CrawlScheduler:
+    """Runs sessions for a platform, including second-wave landing visits."""
+
+    def __init__(
+        self,
+        ecosystem: WebEcosystem,
+        platform: str,
+        rng: random.Random,
+        fcm: Optional[FcmService] = None,
+        emulated: bool = False,
+    ):
+        if platform not in ("desktop", "mobile"):
+            raise ValueError(f"unknown platform: {platform!r}")
+        self.ecosystem = ecosystem
+        self.platform = platform
+        self.rng = rng
+        self.fcm = fcm if fcm is not None else FcmService()
+        self.emulated = emulated
+        self.stats = CrawlStats()
+        self._visited_domains: Set[str] = set()
+
+    def crawl(self, sites: List[Website]) -> List[SessionResult]:
+        """Run a session per site, then one wave of landing-page sessions."""
+        results: List[SessionResult] = []
+        leads: List[LandingLead] = []
+        config = self.ecosystem.config
+        # Stagger visits over the first half of the study so queued messages
+        # still have time to arrive before the final drain.
+        horizon = config.study_minutes * 0.5
+        for site in sites:
+            start = self.rng.uniform(0.0, horizon)
+            results.append(self._run_session(site, start, leads))
+
+        second_wave = self._second_wave_sites(leads)
+        self.stats.second_wave_urls = len(second_wave)
+        for site, discovered_at in second_wave:
+            results.append(self._run_session(site, discovered_at, leads=None))
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_session(
+        self,
+        site: Website,
+        start_min: float,
+        leads: Optional[List[LandingLead]],
+    ) -> SessionResult:
+        session = ContainerSession(
+            ecosystem=self.ecosystem,
+            fcm=self.fcm,
+            site=site,
+            platform=self.platform,
+            rng=self.rng,
+            start_min=start_min,
+            emulated=self.emulated,
+        )
+        result = session.run()
+        self.stats.visited_urls += 1
+        if result.requested_permission:
+            self.stats.npr_urls += 1
+            self.stats.granted_urls += 1  # crawler auto-grants every prompt
+        if result.subscriptions:
+            self.stats.registered_sw_urls += 1
+        self.stats.notifications_collected += len(result.records)
+        self.stats.notifications_valid += sum(1 for r in result.records if r.valid)
+        if leads is not None:
+            leads.extend(result.landing_leads)
+        return result
+
+    def _second_wave_sites(
+        self, leads: List[LandingLead]
+    ) -> List[Tuple[Website, float]]:
+        """Materialize websites for click-discovered landing URLs.
+
+        All discovered URLs count toward the crawl's URL total; only those
+        whose pages request notification permission get sessions that can
+        yield further WPNs.
+        """
+        config = self.ecosystem.config
+        seen_urls: Set[str] = set()
+        sites: List[Tuple[Website, float]] = []
+        seed_domains = {s.domain for s in self.ecosystem.websites}
+        for lead in leads:
+            if lead.url in seen_urls:
+                continue
+            seen_urls.add(lead.url)
+            url = Url.parse(lead.url)
+            if url.host in seed_domains or url.host in self._visited_domains:
+                continue
+            self._visited_domains.add(url.host)
+            self.stats.discovered_landing_urls += 1
+            if not lead.requests_permission:
+                continue
+            networks = lead.network_names or tuple(
+                [self.rng.choice(sorted(self.ecosystem.networks))]
+            )
+            own_family = self.rng.choice(ALERT_FAMILIES)
+            markers = tuple(
+                self.ecosystem.networks[name].sdk_marker
+                for name in networks
+                if name in self.ecosystem.networks
+            )
+            site = Website(
+                url=url,
+                kind="publisher",
+                page_source=publisher_page_source(markers or ("push-sw",)),
+                seed_keyword="(discovered-via-click)",
+                network_names=networks,
+                own_content_family=own_family.name,
+                requests_permission=True,
+                double_permission=False,
+                opt_in_rate=self.rng.uniform(0.02, 0.4),
+                active_notifier=self.rng.random()
+                < self.ecosystem.config.active_notifier_rate,
+                permission_delay_min=self.rng.uniform(0.1, 3.0),
+                discovered_via_click=True,
+            )
+            sites.append((site, lead.discovered_at_min))
+        return sites

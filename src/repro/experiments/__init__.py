@@ -1,0 +1,42 @@
+"""Stand-alone measurement experiments from the paper's evaluation.
+
+Each module drives the crawler/browser/blocklist substrates to reproduce
+one of the paper's side experiments (sections 6.3.3, 6.4 and 8), beyond
+the main two-month crawl:
+
+* ``revisit``           — the April 2020 five-day re-measurement
+* ``blocklist_lag``     — VT/GSB coverage at first scan vs a month later
+* ``double_permission`` — how many sites switched to JS pre-prompts
+* ``quiet_ui``          — Chrome 80's quieter permission UI
+* ``pilot``             — the 96-hour first-notification latency pilot
+"""
+
+from repro.experiments.revisit import RevisitResult, run_revisit_experiment
+from repro.experiments.blocklist_lag import BlocklistLagResult, run_blocklist_lag
+from repro.experiments.double_permission import (
+    DoublePermissionResult,
+    run_double_permission_check,
+)
+from repro.experiments.quiet_ui import QuietUiResult, run_quiet_ui_experiment
+from repro.experiments.pilot import PilotResult, run_latency_pilot
+from repro.experiments.realtime_blocking import (
+    OperatingPoint,
+    RealtimeBlockingResult,
+    run_realtime_blocking,
+)
+
+__all__ = [
+    "RevisitResult",
+    "run_revisit_experiment",
+    "BlocklistLagResult",
+    "run_blocklist_lag",
+    "DoublePermissionResult",
+    "run_double_permission_check",
+    "QuietUiResult",
+    "run_quiet_ui_experiment",
+    "PilotResult",
+    "run_latency_pilot",
+    "OperatingPoint",
+    "RealtimeBlockingResult",
+    "run_realtime_blocking",
+]

@@ -1,0 +1,68 @@
+"""Dataset persistence: WPN records to/from JSON lines.
+
+One record per line, schema-versioned; ground truth is stored under a
+separate ``truth`` key so downstream consumers can strip it to get a
+"what-the-crawler-saw" dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.core.records import WpnRecord, WpnTruth
+
+SCHEMA_VERSION = 1
+
+
+def record_to_dict(record: WpnRecord) -> dict:
+    """JSON-safe dict for one record."""
+    data = dataclasses.asdict(record)
+    data["redirect_hops"] = list(record.redirect_hops)
+    data["page_signals"] = list(record.page_signals)
+    data["schema"] = SCHEMA_VERSION
+    return data
+
+
+def record_from_dict(data: dict) -> WpnRecord:
+    """Inverse of :func:`record_to_dict`."""
+    data = dict(data)
+    schema = data.pop("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported record schema: {schema}")
+    truth = WpnTruth(**data.pop("truth"))
+    data["redirect_hops"] = tuple(data.get("redirect_hops", ()))
+    data["page_signals"] = tuple(data.get("page_signals", ()))
+    return WpnRecord(truth=truth, **data)
+
+
+def save_records(
+    records: Iterable[WpnRecord], path: Union[str, Path]
+) -> int:
+    """Write records as JSONL; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_records(path: Union[str, Path]) -> List[WpnRecord]:
+    """Read a JSONL record file written by :func:`save_records`."""
+    path = Path(path)
+    records: List[WpnRecord] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(record_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, KeyError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad record ({exc})") from exc
+    return records

@@ -1,0 +1,13 @@
+"""Push delivery substrate: an FCM-like message broker.
+
+Web Push in the paper's setup flows through Firebase Cloud Messaging: the
+service worker subscribes, FCM mints a registration ID and endpoint, the ad
+server sends to the endpoint, and messages queue while the subscriber's
+browser is offline (the crawler exploits this by suspending containers and
+periodically resuming them to drain the queue).
+"""
+
+from repro.push.subscription import PushSubscription
+from repro.push.fcm import FcmService, PushDelivery, QueuedMessage
+
+__all__ = ["PushSubscription", "FcmService", "PushDelivery", "QueuedMessage"]

@@ -1,0 +1,38 @@
+"""Push subscriptions: what a service worker holds after subscribing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PushSubscription:
+    """One (origin, service worker) push subscription.
+
+    ``network_name`` identifies the ad network whose SW created the
+    subscription; ``None`` for a site's own (non-ad) service worker.
+    ``platform`` is the subscribing browser's platform ("desktop"/"mobile").
+    """
+
+    endpoint: str
+    registration_id: str
+    origin: str
+    source_url: str
+    sw_script_url: str
+    network_name: Optional[str]
+    platform: str
+    alert_family: Optional[str] = None  # for site-own alert subscriptions
+    created_at_min: float = 0.0
+
+    def __post_init__(self):
+        if self.platform not in ("desktop", "mobile"):
+            raise ValueError(f"unknown platform: {self.platform!r}")
+        if self.network_name is None and self.alert_family is None:
+            raise ValueError(
+                "subscription must carry either an ad network or an alert family"
+            )
+
+    @property
+    def is_ad_subscription(self) -> bool:
+        return self.network_name is not None

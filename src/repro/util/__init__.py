@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG streams, text processing, graphs, stats."""
+
+from repro.util.rng import RngFactory
+from repro.util.graph import UnionFind
+from repro.util.textproc import tokenize_text, tokenize_url_path
+
+__all__ = ["RngFactory", "UnionFind", "tokenize_text", "tokenize_url_path"]

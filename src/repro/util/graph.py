@@ -1,0 +1,83 @@
+"""Small graph utilities: union-find and connected components.
+
+The meta-clustering step (paper section 5.3) finds connected components of a
+bipartite graph between WPN clusters and landing-page domains. We implement
+this with a plain union-find so the analysis core has no hard dependency on
+networkx (which the examples use only for visual export).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable items, with path halving."""
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register an item as its own singleton set (no-op if present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        parent = self._parent
+        if item not in parent:
+            raise KeyError(f"unknown item: {item!r}")
+        root = item
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]  # path halving
+            root = parent[root]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing ``a`` and ``b``; returns the new root."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def components(self) -> List[List[Hashable]]:
+        """All disjoint sets, each as a list; deterministic insertion order."""
+        groups: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        return list(groups.values())
+
+
+def connected_components(
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    nodes: Iterable[Hashable] = (),
+) -> List[List[Hashable]]:
+    """Connected components of an undirected graph given as an edge list.
+
+    ``nodes`` may list isolated vertices that appear in no edge.
+    """
+    uf = UnionFind(nodes)
+    for a, b in edges:
+        uf.union(a, b)
+    return uf.components()

@@ -1,0 +1,54 @@
+"""Small statistics helpers used by the measurement reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def empirical_cdf(values: Sequence[float], points: Sequence[float]) -> List[float]:
+    """Fraction of ``values`` <= p for each p in ``points``."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    ordered = sorted(values)
+    out = []
+    for p in points:
+        # binary search for rightmost value <= p
+        lo, hi = 0, len(ordered)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ordered[mid] <= p:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo / len(ordered))
+    return out
+
+
+def counter_table(items: Iterable, top: int = 0) -> List[Tuple[object, int]]:
+    """Counts of items, sorted by decreasing count then by key repr."""
+    counts: Dict[object, int] = {}
+    for item in items:
+        counts[item] = counts.get(item, 0) + 1
+    rows = sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return rows[:top] if top else rows
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """numerator/denominator, or 0.0 when the denominator is zero."""
+    return numerator / denominator if denominator else 0.0

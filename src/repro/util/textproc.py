@@ -1,0 +1,73 @@
+"""Tokenization helpers for WPN message text and landing-URL paths.
+
+The clustering features in the paper (section 5.1.1) are built from two
+token streams per notification:
+
+* the concatenated *title + body* text, as a bag of words;
+* the landing URL *path tokens*: directory components, page name, and
+  query-string parameter **names** (domain and parameter values excluded).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Set
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+_PATH_SPLIT_RE = re.compile(r"[/\-_.+~]")
+
+# Tiny stopword list: enough to keep embeddings from being dominated by glue
+# words, small enough to keep scam-phrase keywords ("your", in "your payment
+# info has been leaked", is deliberately *not* removed — possessive phrasing
+# is a real signal in push-ad copy).
+STOPWORDS: Set[str] = {
+    "a", "an", "the", "of", "to", "in", "on", "at", "is", "are", "was",
+    "be", "and", "or", "for", "with", "it", "this", "that",
+}
+
+
+def tokenize_text(text: str, drop_stopwords: bool = True) -> List[str]:
+    """Lowercase word tokens from notification title/body text.
+
+    >>> tokenize_text("Your payment info has been LEAKED!")
+    ['your', 'payment', 'info', 'has', 'been', 'leaked']
+    """
+    tokens = _WORD_RE.findall(text.lower())
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def tokenize_url_path(path: str, query: str = "") -> List[str]:
+    """Tokens from a URL path plus query-string parameter *names*.
+
+    The domain never reaches this function; query parameter values are
+    dropped, parameter names kept (paper section 5.1.1).
+
+    >>> tokenize_url_path("/offers/win-prize/claim.php", "uid=99&src=push")
+    ['offers', 'win', 'prize', 'claim', 'php', 'uid', 'src']
+    """
+    tokens = [t for t in _PATH_SPLIT_RE.split(path.lower()) if t]
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name = pair.split("=", 1)[0].strip().lower()
+        if name:
+            tokens.append(name)
+    return tokens
+
+
+def ngrams(tokens: List[str], n: int) -> List[str]:
+    """Contiguous n-grams joined with spaces; empty when len(tokens) < n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def jaccard_distance(a: Set[str], b: Set[str]) -> float:
+    """Jaccard distance between two token sets; 0.0 for two empty sets."""
+    if not a and not b:
+        return 0.0
+    inter = len(a & b)
+    union = len(a | b)
+    return 1.0 - inter / union

@@ -1,0 +1,42 @@
+"""Synthetic web-push advertising ecosystem.
+
+The paper measured the live 2019 push-ad ecosystem; offline we generate a
+statistically faithful stand-in: publisher websites embedding push-ad network
+SDKs, advertiser campaigns (benign and malicious) rotating landing domains,
+a code-search engine for seeding the crawler, and a popularity ranking.
+"""
+
+from repro.webenv.urls import Url
+from repro.webenv.domains import DomainFactory, effective_second_level_domain
+from repro.webenv.adnetworks import AD_NETWORKS, GENERIC_KEYWORDS, AdNetworkSpec
+from repro.webenv.content import FAMILIES, ContentFamily, family_by_name
+from repro.webenv.campaigns import AdCampaign, CampaignFactory
+from repro.webenv.website import Website
+from repro.webenv.landing import LandingPage, RedirectChain
+from repro.webenv.search import CodeSearchEngine
+from repro.webenv.alexa import PopularityIndex
+from repro.webenv.generator import WebEcosystem, generate_ecosystem
+from repro.webenv.scenario import ScenarioConfig, paper_scenario
+
+__all__ = [
+    "Url",
+    "DomainFactory",
+    "effective_second_level_domain",
+    "AD_NETWORKS",
+    "GENERIC_KEYWORDS",
+    "AdNetworkSpec",
+    "FAMILIES",
+    "ContentFamily",
+    "family_by_name",
+    "AdCampaign",
+    "CampaignFactory",
+    "Website",
+    "LandingPage",
+    "RedirectChain",
+    "CodeSearchEngine",
+    "PopularityIndex",
+    "WebEcosystem",
+    "generate_ecosystem",
+    "ScenarioConfig",
+    "paper_scenario",
+]

@@ -1,0 +1,110 @@
+"""Push-ad network roster.
+
+Table 1 of the paper lists 15 seed ad networks (plus 4 generic code-search
+keywords) with, for each, the number of URLs found on publicwww.com and the
+number of those that issued a Notification Permission Request (NPR). We
+carry those counts as the calibration targets for the ecosystem generator:
+at scale ``s`` the generator indexes ``round(urls * s)`` pages per network
+and gives each page that network's empirical NPR rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class AdNetworkSpec:
+    """Static description of one push-ad network (or generic keyword seed).
+
+    ``abuse_level`` in [0, 1] controls what fraction of the *ads* the
+    network serves are malicious; calibrated loosely to Figure 6, where
+    aggressive pop/push monetizers carry far more malicious ads than
+    mainstream re-engagement platforms (OneSignal, PushEngage, iZooto).
+
+    ``ad_share`` is the probability that a push through this network is a
+    third-party ad rather than the publisher's own content notification.
+    Re-engagement platforms (OneSignal, PushEngage, iZooto) mostly relay the
+    site's own alerts; monetization networks push third-party ads almost
+    exclusively. This split is what makes ~42% of all collected WPNs ads
+    (5,143 of 12,262 in the paper) while OneSignal dominates raw NPR counts.
+    """
+
+    name: str
+    search_keyword: str
+    paper_urls: int            # Table 1 "URLs" column
+    paper_nprs: int            # Table 1 "NPRs" column
+    abuse_level: float
+    ad_share: float = 0.9
+    is_generic_keyword: bool = False
+
+    @property
+    def npr_rate(self) -> float:
+        """Empirical probability that an indexed page requests permission."""
+        return self.paper_nprs / self.paper_urls if self.paper_urls else 0.0
+
+    @property
+    def sdk_marker(self) -> str:
+        """The code snippet string a publisher page embeds for this network.
+
+        Contains ``search_keyword`` as a substring so the code-search engine
+        finds exactly the pages that embed this network's SDK.
+        """
+        if self.is_generic_keyword:
+            return self.search_keyword
+        stem = "".join(ch for ch in self.name.lower() if ch.isalnum())
+        return f"cdn.{stem}.com/sdk/{self.search_keyword}.js"
+
+
+AD_NETWORKS: Tuple[AdNetworkSpec, ...] = (
+    AdNetworkSpec("Ad-Maven", "admaven_push_sdk", 49_769, 1_168, 0.58, ad_share=0.95),
+    AdNetworkSpec("PushCrew", "pushcrew_snippet", 15_177, 427, 0.30, ad_share=0.50),
+    AdNetworkSpec("OneSignal", "onesignal_init", 11_317, 2_933, 0.18, ad_share=0.20),
+    AdNetworkSpec("PopAds", "popads_embed", 1_582, 73, 0.78, ad_share=0.95),
+    AdNetworkSpec("PushEngage", "pushengage_sdk", 796, 215, 0.15, ad_share=0.20),
+    AdNetworkSpec("iZooto", "izooto_snippet", 676, 278, 0.15, ad_share=0.20),
+    AdNetworkSpec("PubMatic", "pubmatic_push", 647, 7, 0.30, ad_share=0.50),
+    AdNetworkSpec("PropellerAds", "propeller_zone", 335, 9, 0.80, ad_share=0.95),
+    AdNetworkSpec("Criteo", "criteo_push_tag", 154, 5, 0.10, ad_share=0.30),
+    AdNetworkSpec("AdsTerra", "adsterra_code", 115, 2, 0.82, ad_share=0.95),
+    AdNetworkSpec("AirPush", "airpush_tag", 52, 0, 0.70, ad_share=0.90),
+    AdNetworkSpec("HillTopAds", "hilltop_zone", 21, 3, 0.75, ad_share=0.95),
+    AdNetworkSpec("RichPush", "richpush_tag", 12, 0, 0.70, ad_share=0.95),
+    AdNetworkSpec("AdCash", "adcash_zone", 10, 0, 0.65, ad_share=0.90),
+    AdNetworkSpec("PushMonetization", "pushmonetization_js", 9, 5, 0.80, ad_share=0.95),
+)
+
+GENERIC_KEYWORDS: Tuple[AdNetworkSpec, ...] = (
+    AdNetworkSpec("NotificationrequestPermission", "NotificationrequestPermission",
+                  3_965, 538, 0.45, ad_share=0.45, is_generic_keyword=True),
+    AdNetworkSpec("pushmanagersubscribe", "pushmanagersubscribe",
+                  2_667, 158, 0.45, ad_share=0.45, is_generic_keyword=True),
+    AdNetworkSpec("addEventListener('Push'", "addEventListener('Push'",
+                  263, 9, 0.45, ad_share=0.45, is_generic_keyword=True),
+    AdNetworkSpec("adsblockkpushcom", "adsblockkpushcom",
+                  55, 19, 0.85, ad_share=0.90, is_generic_keyword=True),
+)
+
+ALL_SEEDS: Tuple[AdNetworkSpec, ...] = AD_NETWORKS + GENERIC_KEYWORDS
+
+PAPER_TOTAL_URLS = 87_622
+PAPER_TOTAL_NPRS = 5_849
+
+
+def seeds_by_name() -> Dict[str, AdNetworkSpec]:
+    """Name -> spec for all 19 seed rows of Table 1."""
+    return {spec.name: spec for spec in ALL_SEEDS}
+
+
+def _check_table1_totals() -> None:
+    urls = sum(s.paper_urls for s in ALL_SEEDS)
+    nprs = sum(s.paper_nprs for s in ALL_SEEDS)
+    if urls != PAPER_TOTAL_URLS or nprs != PAPER_TOTAL_NPRS:
+        raise AssertionError(
+            f"Table 1 transcription drifted: {urls} URLs / {nprs} NPRs "
+            f"(expected {PAPER_TOTAL_URLS} / {PAPER_TOTAL_NPRS})"
+        )
+
+
+_check_table1_totals()

@@ -1,0 +1,722 @@
+"""Notification content families.
+
+Every push message in the simulated ecosystem is an instance of a *content
+family*: a theme with title/body templates, a landing-URL path template, and
+a set of landing-page signature tokens. The families mirror what the paper
+observed in the wild:
+
+* malicious ad families — survey scams, sweepstakes, tech-support scams,
+  fake PayPal alerts, scareware, phishing financial alerts, fake parcel
+  notices, fake missed calls and spoofed IM notifications (mobile),
+  crypto scams;
+* benign ad families — shopping deals, app/game/VPN promos, dating ads,
+  job postings and horoscopes (the paper's "duplicate ads that turned out
+  benign"), subscription welcome messages;
+* non-ad alert families — breaking news, weather, bank loan offers, blog
+  updates, sports scores; these land back on their source origin.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+_SLOT_RE = re.compile(r"\{([a-z_]+)\}")
+
+SLOT_VOCAB: Dict[str, List[str]] = {
+    "brand": ["Amazon", "Walmart", "Target", "BestBuy", "Costco", "eBay"],
+    "phone_brand": ["iPhone 11", "Galaxy S10", "Pixel 4", "iPhone XS"],
+    "prize": ["$1000 gift card", "brand new iPhone 11", "$500 voucher",
+              "Samsung 4K TV", "$250 cash prize", "PlayStation bundle"],
+    "amount": ["$500", "$750", "$1,000", "$2,500", "$350"],
+    "bank": ["Chase", "Wells Fargo", "Bank of America", "Citibank", "HSBC"],
+    "carrier": ["FedEx", "UPS", "DHL", "USPS"],
+    "store": ["SuperMart", "MegaStore", "ValueShop", "DealDepot"],
+    "app": ["TurboVPN", "CleanMaster", "PhotoMagic", "SpeedBooster",
+            "CoinTracker", "FitPulse"],
+    "game": ["Empire Clash", "Candy Blast", "Dragon Quest Idle", "Farm Story"],
+    "city": ["Atlanta", "Dallas", "Denver", "Phoenix", "Seattle", "Miami"],
+    "name": ["Emma", "Olivia", "Sophia", "Anna", "Mia", "Julia"],
+    "count": ["1", "2", "3", "4", "5"],
+    "percent": ["50%", "60%", "70%", "80%", "40%"],
+    "coin": ["Bitcoin", "Ethereum", "Dogecoin"],
+    "job": ["warehouse associate", "delivery driver", "data entry clerk",
+            "customer support agent", "remote assistant"],
+    "sign": ["Aries", "Leo", "Virgo", "Libra", "Gemini", "Taurus"],
+    "team": ["Eagles", "Lakers", "Yankees", "Bulls", "Rangers", "United"],
+    "weathertype": ["thunderstorm", "heat advisory", "flood watch",
+                    "winter storm", "high wind"],
+    "topic": ["politics", "economy", "technology", "health", "sports"],
+    "num": [str(n) for n in range(10, 100)],
+    "bignum": [str(n) for n in range(100_000, 999_999, 7)],
+}
+
+
+def fill_template(template: str, rng: random.Random) -> str:
+    """Replace each ``{slot}`` with a random vocabulary entry.
+
+    Unknown slot names raise ``KeyError`` so template typos fail loudly.
+    """
+
+    def _sub(match: re.Match) -> str:
+        return rng.choice(SLOT_VOCAB[match.group(1)])
+
+    return _SLOT_RE.sub(_sub, template)
+
+
+@dataclass(frozen=True)
+class ContentFamily:
+    """A theme of push-notification content.
+
+    ``text_variability`` is the probability that an individual message uses
+    a one-off creative instead of a campaign template; one-offs land on the
+    campaign's domains but do not cluster by text, reproducing the paper's
+    large population of singleton clusters that only meta-clustering ties
+    back to campaigns.
+    """
+
+    name: str
+    kind: str                     # "ad" | "alert"
+    malicious: bool
+    category: str                 # human-readable attack/ad category
+    titles: Tuple[str, ...]
+    bodies: Tuple[str, ...]
+    path_templates: Tuple[str, ...]
+    theme_tokens: Tuple[str, ...]
+    platforms: Tuple[str, ...] = ("desktop", "mobile")
+    text_variability: float = 0.0
+    duplicate_ads: bool = False   # campaigns rotate many landing domains
+    icon_brands: Tuple[str, ...] = ()  # brand icons the creatives spoof
+    action_labels: Tuple[str, ...] = ()  # custom notification action buttons
+    page_signals: Tuple[str, ...] = ()   # elements rendered on landing pages
+                                         # (what the crawler's page logs and
+                                         # screenshots capture)
+
+    def __post_init__(self):
+        if self.kind not in ("ad", "alert"):
+            raise ValueError(f"kind must be 'ad' or 'alert', got {self.kind!r}")
+        if self.malicious and self.kind != "ad":
+            raise ValueError("only ad families may be malicious in this model")
+        if not 0.0 <= self.text_variability <= 1.0:
+            raise ValueError("text_variability must be in [0, 1]")
+
+
+FAMILIES: Tuple[ContentFamily, ...] = (
+    # ------------------------------------------------------------------
+    # Malicious ad families
+    # ------------------------------------------------------------------
+    ContentFamily(
+        name="survey_scam",
+        kind="ad",
+        malicious=True,
+        category="survey scam",
+        titles=(
+            "Congratulations {name}!",
+            "You have been selected!",
+            "{brand} shopper survey",
+        ),
+        bodies=(
+            "You have been chosen to receive a {prize}. Complete a short survey to claim it now.",
+            "Answer {count} quick questions about {brand} and win a {prize}!",
+            "Your opinion is worth a {prize}. Take the {brand} survey today.",
+        ),
+        path_templates=(
+            "/survey/start.php?sid={num}&src=push",
+            "/reward/claim?offer={num}&uid={num}",
+        ),
+        theme_tokens=("survey", "reward", "congratulations", "claim", "winner"),
+        text_variability=0.55,
+        duplicate_ads=True,
+        action_labels=('Start survey',),
+        page_signals=('survey-form', 'countdown-timer'),
+    ),
+    ContentFamily(
+        name="sweepstakes",
+        kind="ad",
+        malicious=True,
+        category="sweepstakes scam",
+        titles=(
+            "(1) New Prize Pending",
+            "Winner announcement",
+            "Your entry was drawn!",
+        ),
+        bodies=(
+            "You are today's lucky visitor from {city}. Spin the wheel and win a {phone_brand}!",
+            "Claim your {prize} before it expires tonight.",
+            "Final reminder: your {prize} is still unclaimed.",
+        ),
+        path_templates=(
+            "/sweeps/spin.php?cid={num}&src=push",
+            "/lucky/wheel?draw={num}&ref={num}",
+        ),
+        theme_tokens=("sweepstakes", "spin", "wheel", "lucky", "prize"),
+        text_variability=0.55,
+        duplicate_ads=True,
+        action_labels=('Claim now', 'No thanks'),
+        page_signals=('prize-wheel', 'countdown-timer'),
+    ),
+    ContentFamily(
+        name="tech_support",
+        kind="ad",
+        malicious=True,
+        category="tech support scam",
+        titles=(
+            "Your payment info has been leaked",
+            "Security warning",
+            "({count}) Virus detected",
+        ),
+        bodies=(
+            "Your computer may be infected. Call support immediately to secure your data.",
+            "We detected {count} viruses on your device. Immediate action required.",
+            "Your payment information may have been exposed. Verify now.",
+        ),
+        path_templates=(
+            "/alert/support.html?case={num}",
+            "/scan/warning.php?code={num}&src=push",
+        ),
+        theme_tokens=("support", "virus", "infected", "call", "warning", "microsoft"),
+        platforms=("desktop",),
+        text_variability=0.4,
+        duplicate_ads=True,
+        page_signals=('support-phone-number', 'fullscreen-popup-loop', 'fake-scan-animation'),
+    ),
+    ContentFamily(
+        name="fake_paypal",
+        kind="ad",
+        malicious=True,
+        category="fake PayPal alert",
+        titles=(
+            "PayPal: action required",
+            "Your PayPal account is limited",
+        ),
+        bodies=(
+            "A payment of {amount} is on hold. Confirm your identity to release the funds.",
+            "Unusual activity detected on your account. Review your recent transactions.",
+        ),
+        path_templates=(
+            "/account/verify.php?step={count}&tok={num}",
+        ),
+        theme_tokens=("paypal", "account", "verify", "limited", "payment"),
+        text_variability=0.2,
+        duplicate_ads=True,
+        icon_brands=('paypal',),
+        page_signals=('credential-form', 'brand-logo'),
+    ),
+    ContentFamily(
+        name="scareware",
+        kind="ad",
+        malicious=True,
+        category="scareware",
+        titles=(
+            "Your device is infected!",
+            "Battery damaged by {count} viruses",
+        ),
+        bodies=(
+            "Clean your device now or your photos may be deleted. Install {app} immediately.",
+            "Your {phone_brand} is {percent} damaged. Download the repair tool now.",
+        ),
+        path_templates=(
+            "/clean/install.html?aff={num}&src=push",
+        ),
+        theme_tokens=("clean", "infected", "install", "repair", "download"),
+        text_variability=0.5,
+        duplicate_ads=True,
+        action_labels=('Clean now',),
+        page_signals=('download-button', 'fake-scan-animation'),
+    ),
+    ContentFamily(
+        name="phishing_bank",
+        kind="ad",
+        malicious=True,
+        category="financial phishing",
+        titles=(
+            "{bank} security alert",
+            "Suspicious sign-in blocked",
+        ),
+        bodies=(
+            "Your {bank} card has been temporarily locked. Verify your details to unlock.",
+            "A transfer of {amount} was initiated from your account. Cancel it here.",
+        ),
+        path_templates=(
+            "/secure/login.php?session={num}",
+        ),
+        theme_tokens=("bank", "login", "verify", "card", "secure"),
+        text_variability=0.35,
+        duplicate_ads=True,
+        icon_brands=('chase', 'wellsfargo', 'citibank'),
+        page_signals=('credential-form', 'brand-logo'),
+    ),
+    ContentFamily(
+        name="fake_delivery",
+        kind="ad",
+        malicious=True,
+        category="fake parcel notice",
+        titles=(
+            "{carrier}: delivery attempt failed",
+            "Package waiting for you",
+        ),
+        bodies=(
+            "Your parcel #{num}{num} could not be delivered. Schedule redelivery and pay a small fee.",
+            "A package addressed to you is on hold. Confirm your address to receive it.",
+        ),
+        path_templates=(
+            "/track/parcel.php?track={num}&src=push",
+        ),
+        theme_tokens=("package", "delivery", "track", "parcel", "redelivery"),
+        platforms=("mobile", "desktop"),
+        text_variability=0.45,
+        duplicate_ads=True,
+        icon_brands=('fedex', 'ups', 'dhl', 'usps'),
+        page_signals=('tracking-form', 'payment-form'),
+    ),
+    ContentFamily(
+        name="fake_missed_call",
+        kind="ad",
+        malicious=True,
+        category="fake missed call",
+        titles=(
+            "({count}) Missed call",
+            "New voicemail from {name}",
+        ),
+        bodies=(
+            "You have {count} missed calls. Tap to listen to your voicemail.",
+            "{name} tried to reach you. Call back now.",
+        ),
+        path_templates=(
+            "/voip/callback.html?vm={num}",
+        ),
+        theme_tokens=("voicemail", "call", "missed", "callback"),
+        platforms=("mobile",),
+        text_variability=0.45,
+        duplicate_ads=True,
+        icon_brands=('phone-dialer',),
+        page_signals=('callback-button',),
+    ),
+    ContentFamily(
+        name="spoofed_im",
+        kind="ad",
+        malicious=True,
+        category="spoofed IM notification",
+        titles=(
+            "WhatsApp: {count} new messages",
+            "Gmail: new message from {name}",
+        ),
+        bodies=(
+            "{name} sent you {count} photos. Tap to view.",
+            "You have unread messages waiting. Open now.",
+        ),
+        path_templates=(
+            "/msg/open.php?mid={num}&src=push",
+        ),
+        theme_tokens=("message", "whatsapp", "gmail", "unread", "photos"),
+        platforms=("mobile",),
+        text_variability=0.45,
+        duplicate_ads=True,
+        icon_brands=('whatsapp', 'gmail'),
+        page_signals=('credential-form', 'brand-logo'),
+    ),
+    ContentFamily(
+        name="crypto_scam",
+        kind="ad",
+        malicious=True,
+        category="crypto investment scam",
+        titles=(
+            "{coin} is exploding",
+            "Your {coin} wallet credited",
+        ),
+        bodies=(
+            "Turn {amount} into {amount} in one week with automated {coin} trading.",
+            "Local investor from {city} reveals the {coin} loophole banks hate.",
+        ),
+        path_templates=(
+            "/invest/landing.php?aff={num}&sub={num}",
+        ),
+        theme_tokens=("bitcoin", "invest", "profit", "trading", "wallet"),
+        text_variability=0.55,
+        duplicate_ads=True,
+        page_signals=('investment-form', 'testimonial-carousel'),
+    ),
+    ContentFamily(
+        name="fake_flash_update",
+        kind="ad",
+        malicious=True,
+        category="fake software update",
+        titles=(
+            "Flash Player is out of date",
+            "Critical update required",
+        ),
+        bodies=(
+            "Your video player is outdated and may expose your device. Install the latest update now.",
+            "Update required to continue watching. Version {num}.{count} available.",
+        ),
+        path_templates=(
+            "/update/player.php?v={num}&src=push",
+        ),
+        theme_tokens=("update", "player", "install", "outdated", "version"),
+        platforms=("desktop",),
+        text_variability=0.4,
+        duplicate_ads=True,
+        page_signals=('download-button', 'fake-scan-animation'),
+    ),
+    ContentFamily(
+        name="browser_locker",
+        kind="ad",
+        malicious=True,
+        category="browser locker",
+        titles=(
+            "Your browser has been locked",
+            "Security breach detected",
+        ),
+        bodies=(
+            "Suspicious activity from your IP. Do not close this window and call support.",
+            "Access to your browser was restricted after {count} security violations.",
+        ),
+        path_templates=(
+            "/lock/alert.html?case={num}",
+        ),
+        theme_tokens=("locked", "breach", "restricted", "support", "warning"),
+        platforms=("desktop",),
+        text_variability=0.35,
+        duplicate_ads=True,
+        page_signals=('support-phone-number', 'fullscreen-popup-loop'),
+    ),
+    # ------------------------------------------------------------------
+    # Benign ad families
+    # ------------------------------------------------------------------
+    ContentFamily(
+        name="shopping_deal",
+        kind="ad",
+        malicious=False,
+        category="shopping deal",
+        titles=(
+            "{store} flash sale",
+            "Today only: {percent} off",
+        ),
+        bodies=(
+            "Save {percent} on electronics at {store}. Limited stock!",
+            "Members get an extra {percent} off everything this weekend.",
+        ),
+        path_templates=(
+            "/deals/flash.html?cmp={num}&src=push",
+        ),
+        theme_tokens=("sale", "deal", "discount", "shop", "save"),
+        text_variability=0.5,
+        duplicate_ads=False,
+        action_labels=('Shop now',),
+        page_signals=('product-grid',),
+    ),
+    ContentFamily(
+        name="app_promo",
+        kind="ad",
+        malicious=False,
+        category="app promotion",
+        titles=(
+            "Try {app} free",
+            "{app}: editors' choice",
+        ),
+        bodies=(
+            "Join millions using {app}. Install today and get premium for free.",
+            "{app} keeps your connection fast and private. Get it now.",
+        ),
+        path_templates=(
+            "/get/app.html?pid={num}&src=push",
+        ),
+        theme_tokens=("install", "app", "free", "premium", "download"),
+        text_variability=0.45,
+        duplicate_ads=False,
+        page_signals=('install-button',),
+    ),
+    ContentFamily(
+        name="game_promo",
+        kind="ad",
+        malicious=False,
+        category="game promotion",
+        titles=(
+            "Play {game} now",
+            "{game}: new season",
+        ),
+        bodies=(
+            "Build your empire in {game}. No download needed, play in your browser.",
+            "Claim {num} free coins in {game} today.",
+        ),
+        path_templates=(
+            "/play/start.html?g={num}&src=push",
+        ),
+        theme_tokens=("play", "game", "coins", "level", "season"),
+        text_variability=0.5,
+        duplicate_ads=False,
+        page_signals=('play-button',),
+    ),
+    ContentFamily(
+        name="dating_ads",
+        kind="ad",
+        malicious=False,
+        category="adult/dating ads",
+        titles=(
+            "{name} from {city} sent a message",
+            "{count} singles near {city}",
+        ),
+        bodies=(
+            "{name}, {num}, is online now and wants to chat.",
+            "Meet verified singles from {city} tonight.",
+        ),
+        path_templates=(
+            "/match/profile.php?u={num}&src=push",
+        ),
+        theme_tokens=("singles", "chat", "meet", "profile", "dating"),
+        text_variability=0.55,
+        duplicate_ads=True,
+        page_signals=('profile-grid', 'signup-form'),
+    ),
+    ContentFamily(
+        name="job_postings",
+        kind="ad",
+        malicious=False,
+        category="job postings",
+        titles=(
+            "New {job} jobs in {city}",
+            "Hiring now: {job}",
+        ),
+        bodies=(
+            "{count} companies in {city} are hiring {job}s. Apply with one click.",
+            "Earn up to {amount} per week as a {job}. See openings near {city}.",
+        ),
+        path_templates=(
+            "/jobs/listing.php?q={num}&loc={num}",
+        ),
+        theme_tokens=("jobs", "hiring", "apply", "salary", "openings"),
+        text_variability=0.15,
+        duplicate_ads=True,
+        action_labels=('View jobs',),
+        page_signals=('job-listings',),
+    ),
+    ContentFamily(
+        name="horoscope",
+        kind="ad",
+        malicious=False,
+        category="horoscope content",
+        titles=(
+            "{sign}: your day ahead",
+            "Daily horoscope for {sign}",
+        ),
+        bodies=(
+            "A surprising opportunity reaches {sign} today. Read your full forecast.",
+            "Love, money and luck: what the stars say for {sign}.",
+        ),
+        path_templates=(
+            "/horoscope/daily.php?sign={num}",
+        ),
+        theme_tokens=("horoscope", "stars", "forecast", "zodiac"),
+        text_variability=0.2,
+        duplicate_ads=True,
+        page_signals=('horoscope-text',),
+    ),
+    ContentFamily(
+        name="welcome_thankyou",
+        kind="ad",
+        malicious=False,
+        category="subscription welcome",
+        titles=(
+            "Thanks for subscribing!",
+            "Welcome aboard",
+        ),
+        bodies=(
+            "You will now receive our best updates. Manage your preferences any time.",
+            "Subscription confirmed. Stay tuned for offers picked for you.",
+        ),
+        path_templates=(
+            "/subscribe/welcome.html?ref={num}",
+        ),
+        theme_tokens=("welcome", "subscribed", "thanks", "preferences"),
+        text_variability=0.05,
+        duplicate_ads=True,
+        page_signals=('thank-you-text',),
+    ),
+    ContentFamily(
+        name="streaming_promo",
+        kind="ad",
+        malicious=False,
+        category="streaming promotion",
+        titles=(
+            "New releases this week",
+            "Watch free tonight",
+        ),
+        bodies=(
+            "{count} new movies just landed. Stream the first episode free.",
+            "Members in {city} are watching now. Join free for {count} days.",
+        ),
+        path_templates=(
+            "/watch/promo.html?cid={num}&src=push",
+        ),
+        theme_tokens=("watch", "stream", "movies", "episode", "free"),
+        text_variability=0.45,
+        duplicate_ads=False,
+        page_signals=('play-button',),
+    ),
+    ContentFamily(
+        name="coupon_deals",
+        kind="ad",
+        malicious=False,
+        category="coupon aggregator",
+        titles=(
+            "Coupon unlocked: {percent} off",
+            "{store} promo code inside",
+        ),
+        bodies=(
+            "Your {store} code saves {percent} today only. Tap to copy it.",
+            "{count} fresh codes for {store} were just verified.",
+        ),
+        path_templates=(
+            "/coupons/code.php?c={num}&m={num}",
+        ),
+        theme_tokens=("coupon", "code", "promo", "save", "verified"),
+        text_variability=0.4,
+        duplicate_ads=True,
+        page_signals=('product-grid',),
+    ),
+    # ------------------------------------------------------------------
+    # Non-ad alert families (land on their own origin)
+    # ------------------------------------------------------------------
+    ContentFamily(
+        name="breaking_news",
+        kind="alert",
+        malicious=False,
+        category="news alert",
+        titles=(
+            "Breaking: {topic} update from {city}",
+            "Developing story #{bignum}",
+        ),
+        bodies=(
+            "Major development in {topic} reported from {city}. Story {bignum}, tap for live coverage.",
+            "Officials in {city} respond to the latest {topic} news (report {bignum}).",
+        ),
+        path_templates=(
+            "/news/{topic}/{bignum}/story-{bignum}.html",
+            "/{topic}/{bignum}/live-{bignum}",
+        ),
+        theme_tokens=("news", "breaking", "coverage", "report"),
+        text_variability=0.9,
+        page_signals=('article-text',),
+    ),
+    ContentFamily(
+        name="weather_alert",
+        kind="alert",
+        malicious=False,
+        category="weather alert",
+        titles=(
+            "{weathertype} warning #{bignum}",
+            "Weather alert for {city} area {num}",
+        ),
+        bodies=(
+            "A {weathertype} is expected near {city} until {count} PM (advisory {bignum}). Stay safe.",
+            "National Weather Service issued advisory {bignum}: {weathertype} near {city}.",
+        ),
+        path_templates=(
+            "/weather/alerts/{bignum}/{bignum}",
+        ),
+        theme_tokens=("weather", "warning", "advisory", "forecast"),
+        text_variability=0.8,
+        page_signals=('forecast-map',),
+    ),
+    ContentFamily(
+        name="bank_loan",
+        kind="alert",
+        malicious=False,
+        category="bank loan offer",
+        titles=(
+            "{bank}: pre-approved personal loan",
+            "Your {bank} loan offer #{bignum}",
+        ),
+        bodies=(
+            "You are pre-approved for a personal loan up to {amount} at {percent} APR equivalent rate code {bignum}. Check your offer inside online banking.",
+            "Offer {bignum}: borrow up to {amount} with your {bank} account in {city}.",
+        ),
+        path_templates=(
+            "/offers/{bignum}/loan-{bignum}.html?ref={num}",
+        ),
+        theme_tokens=("loan", "preapproved", "rate", "banking"),
+        platforms=("desktop",),
+        text_variability=0.0,
+        page_signals=('offer-details',),
+    ),
+    ContentFamily(
+        name="blog_update",
+        kind="alert",
+        malicious=False,
+        category="blog update",
+        titles=(
+            "New post: {topic} notes #{bignum}",
+            "Fresh on the blog: {topic} ({city})",
+        ),
+        bodies=(
+            "Our latest article on {topic} is live (post {bignum}). Give it a read!",
+            "{count} new posts this week about {topic}, starting with #{bignum}.",
+        ),
+        path_templates=(
+            "/blog/{topic}/{bignum}/post-{bignum}",
+        ),
+        theme_tokens=("blog", "post", "article", "read"),
+        text_variability=0.85,
+        page_signals=('article-text',),
+    ),
+    ContentFamily(
+        name="sports_score",
+        kind="alert",
+        malicious=False,
+        category="sports score",
+        titles=(
+            "Final: {team} {count}-{count}",
+            "{team} game update",
+        ),
+        bodies=(
+            "{team} close out the night {count}-{count} in {city}. Highlights of game {bignum} inside.",
+            "Halftime of game {bignum} in {city}: {team} lead {count}-{count}.",
+        ),
+        path_templates=(
+            "/scores/{bignum}/game-{bignum}",
+        ),
+        theme_tokens=("score", "game", "highlights", "final"),
+        text_variability=0.9,
+        page_signals=('score-board',),
+    ),
+)
+
+
+_FAMILY_INDEX: Dict[str, ContentFamily] = {f.name: f for f in FAMILIES}
+
+MALICIOUS_AD_FAMILIES: Tuple[ContentFamily, ...] = tuple(
+    f for f in FAMILIES if f.kind == "ad" and f.malicious
+)
+BENIGN_AD_FAMILIES: Tuple[ContentFamily, ...] = tuple(
+    f for f in FAMILIES if f.kind == "ad" and not f.malicious
+)
+ALERT_FAMILIES: Tuple[ContentFamily, ...] = tuple(
+    f for f in FAMILIES if f.kind == "alert"
+)
+
+
+def family_by_name(name: str) -> ContentFamily:
+    """Look up a content family by its unique name."""
+    try:
+        return _FAMILY_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown content family: {name!r}") from None
+
+
+def one_off_creative(family: ContentFamily, rng: random.Random) -> Tuple[str, str]:
+    """A unique (title, body) that shares the family theme but no template.
+
+    Used to model the creative churn of push-ad networks: such messages end
+    up in singleton text clusters and are only reconnected to campaigns via
+    shared landing domains (meta-clustering).
+    """
+    theme = list(family.theme_tokens)
+    rng.shuffle(theme)
+    fillers = ["now", "today", "tap", "here", "new", "hot", "last chance",
+               "for you", "just in", "don't miss"]
+    title = f"{theme[0].title()} {rng.choice(fillers)} #{rng.randrange(1000, 9999)}"
+    body_words = theme[1:3] + rng.sample(fillers, k=3) + [str(rng.randrange(10, 999))]
+    rng.shuffle(body_words)
+    return title, " ".join(body_words)

@@ -1,0 +1,113 @@
+"""Domain-name generation and effective second-level domain extraction.
+
+The campaign-identification rule in the paper counts *effective second-level
+domains* (eTLD+1) of WPN sources, so we carry a small public-suffix table
+sufficient for every TLD the generator emits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+# Multi-label public suffixes the generator can emit. A real system would use
+# the full Mozilla PSL; the generator only ever produces hosts under these or
+# under single-label TLDs, so this table is complete *for generated data*.
+MULTI_LABEL_SUFFIXES: Set[str] = {
+    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.in", "co.jp",
+    "com.br", "com.cn", "com.tr", "co.za", "com.mx", "com.ar",
+}
+
+BENIGN_TLDS: List[str] = [
+    "com", "com", "com", "com", "net", "org", "io", "co", "us",
+    "co.uk", "de", "fr", "in", "com.au", "ca", "co.in", "com.br",
+]
+
+# TLD pool skewed toward the cheap registries malicious push campaigns favour.
+SHADY_TLDS: List[str] = [
+    "xyz", "club", "icu", "top", "site", "online", "live", "space",
+    "website", "fun", "pw", "ru", "cn", "info", "buzz", "rest", "cam",
+]
+
+_ADJECTIVES = [
+    "daily", "global", "prime", "smart", "super", "mega", "best", "fast",
+    "bright", "urban", "royal", "happy", "fresh", "silver", "golden",
+    "crystal", "active", "modern", "digital", "cyber", "alpha", "vivid",
+    "lucky", "rapid", "solid", "clear", "metro", "coastal", "summit",
+]
+
+_NOUNS = [
+    "news", "media", "times", "post", "herald", "journal", "gazette",
+    "stream", "video", "tube", "movies", "games", "play", "sports",
+    "recipes", "kitchen", "health", "fitness", "travel", "deals", "market",
+    "store", "shop", "tech", "gadget", "auto", "finance", "crypto", "coin",
+    "weather", "forum", "blog", "wiki", "hub", "zone", "portal", "world",
+    "planet", "city", "life", "style", "trend", "buzz", "wave", "spark",
+]
+
+_SHADY_WORDS = [
+    "win", "prize", "reward", "bonus", "claim", "lucky", "spin", "gift",
+    "cash", "money", "rich", "offer", "promo", "deal", "free", "secure",
+    "verify", "alert", "update", "clean", "fix", "boost", "track", "push",
+    "click", "sweeps", "survey", "winner", "jackpot", "vault", "payout",
+]
+
+
+def effective_second_level_domain(host: str) -> str:
+    """eTLD+1 of a host name.
+
+    >>> effective_second_level_domain("ads.news.example.co.uk")
+    'example.co.uk'
+    >>> effective_second_level_domain("push.example.com")
+    'example.com'
+    """
+    labels = host.lower().strip(".").split(".")
+    if len(labels) <= 2:
+        return ".".join(labels)
+    if ".".join(labels[-2:]) in MULTI_LABEL_SUFFIXES:
+        return ".".join(labels[-3:])
+    return ".".join(labels[-2:])
+
+
+class DomainFactory:
+    """Generates unique, deterministic domain names of several flavours."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._issued: Set[str] = set()
+
+    def _unique(self, candidate: str) -> str:
+        """Disambiguate with a numeric suffix before the TLD if needed."""
+        if candidate not in self._issued:
+            self._issued.add(candidate)
+            return candidate
+        stem, _, tld = candidate.partition(".")
+        for i in range(2, 10_000):
+            alt = f"{stem}{i}.{tld}"
+            if alt not in self._issued:
+                self._issued.add(alt)
+                return alt
+        raise RuntimeError("domain namespace exhausted")
+
+    def benign(self) -> str:
+        """A plausible legitimate site domain, e.g. ``dailyrecipes.com``."""
+        rng = self._rng
+        stem = rng.choice(_ADJECTIVES) + rng.choice(_NOUNS)
+        return self._unique(f"{stem}.{rng.choice(BENIGN_TLDS)}")
+
+    def shady(self) -> str:
+        """A throwaway-looking domain used by malicious landing pages."""
+        rng = self._rng
+        parts = rng.sample(_SHADY_WORDS, k=rng.choice([1, 2, 2, 3]))
+        if rng.random() < 0.45:
+            parts.append(str(rng.randrange(1, 100)))
+        stem = "-".join(parts) if rng.random() < 0.6 else "".join(parts)
+        return self._unique(f"{stem}.{rng.choice(SHADY_TLDS)}")
+
+    def ad_network(self, name: str) -> str:
+        """The canonical serving domain for an ad network."""
+        stem = "".join(ch for ch in name.lower() if ch.isalnum())
+        return self._unique(f"{stem}.com")
+
+    def issued_count(self) -> int:
+        return len(self._issued)

@@ -1,0 +1,149 @@
+"""Landing pages and click redirect chains.
+
+Clicking a WPN ad takes the browser through the ad network's click tracker
+(one or more redirect hops) to the advertiser's landing page. The landing
+page carries the attack payload for malicious ads (e.g. the tech-support
+scam phone number of Figure 1), so the crawler records the full chain and
+the rendered landing page.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.webenv.urls import Url
+
+
+@dataclass(frozen=True)
+class LandingPage:
+    """A rendered landing page, as the instrumented browser records it.
+
+    ``page_signals`` names the elements the rendered page exhibits (the
+    information the paper extracts from page logs and screenshots: the
+    tech-support scam's phone number, survey forms, credential forms,
+    countdown timers, popup loops, ...).
+    """
+
+    url: Url
+    family_name: str
+    campaign_id: Optional[str]
+    malicious: bool
+    theme_tokens: Tuple[str, ...]
+    visual_hash: str            # proxy for a page screenshot signature
+    ip_address: str
+    registrant: str
+    requests_permission: bool   # landing page itself asks for push permission
+    page_signals: Tuple[str, ...] = ()
+
+    @property
+    def domain(self) -> str:
+        return self.url.host
+
+
+@dataclass(frozen=True)
+class RedirectChain:
+    """The HTTP redirect hops from a notification click to its landing URL."""
+
+    hops: Tuple[Url, ...]
+
+    def __post_init__(self):
+        if not self.hops:
+            raise ValueError("redirect chain needs at least the landing URL")
+
+    @property
+    def click_url(self) -> Url:
+        return self.hops[0]
+
+    @property
+    def landing_url(self) -> Url:
+        return self.hops[-1]
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+def visual_signature(family_name: str, operation_id: Optional[str]) -> str:
+    """Deterministic stand-in for a landing-page screenshot hash.
+
+    Pages of the same family run by the same operation look alike (the
+    paper's manual analysis leans on visual similarity across domains), so
+    the signature depends only on (family, operation).
+    """
+    key = f"{family_name}|{operation_id or 'standalone'}"
+    return hashlib.blake2b(key.encode("utf-8"), digest_size=6).hexdigest()
+
+
+class LandingInfrastructure:
+    """Registry of hosting facts (IP, registrant) per landing domain."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._ip: Dict[str, str] = {}
+        self._registrant: Dict[str, str] = {}
+
+    def register(self, domain: str, ip_address: str, registrant: str) -> None:
+        """Pin a domain to specific hosting facts (operation infrastructure)."""
+        self._ip[domain] = ip_address
+        self._registrant[domain] = registrant
+
+    def ip_of(self, domain: str) -> str:
+        """IP for the domain, allocating a generic one on first sight."""
+        if domain not in self._ip:
+            rng = self._rng
+            self._ip[domain] = (
+                f"104.{rng.randrange(10, 250)}.{rng.randrange(1, 250)}.{rng.randrange(2, 250)}"
+            )
+        return self._ip[domain]
+
+    def registrant_of(self, domain: str) -> str:
+        if domain not in self._registrant:
+            self._registrant[domain] = f"owner-{self._rng.randrange(10_000, 99_999)}@registrar.example"
+        return self._registrant[domain]
+
+
+class RedirectChainBuilder:
+    """Builds click→landing redirect chains through ad-network trackers."""
+
+    def __init__(self, rng: random.Random, network_domains: Dict[str, str]):
+        """``network_domains`` maps ad-network name -> its serving domain."""
+        self._rng = rng
+        self._network_domains = dict(network_domains)
+
+    def build(
+        self,
+        network_name: Optional[str],
+        landing_url: Url,
+    ) -> RedirectChain:
+        """Chain from the network's click tracker to the landing URL.
+
+        Non-ad alerts (``network_name is None``) navigate directly, with no
+        tracker hop.
+        """
+        if network_name is None:
+            return RedirectChain(hops=(landing_url,))
+        serving_domain = self._network_domains.get(network_name)
+        if serving_domain is None:
+            raise KeyError(f"unknown ad network: {network_name!r}")
+        rng = self._rng
+        hops: List[Url] = [
+            Url(
+                host=f"click.{serving_domain}",
+                path="/c/redirect",
+                query=f"nid={rng.randrange(10**6)}&z={rng.randrange(10**4)}",
+            )
+        ]
+        # Malicious monetization chains often bounce through an extra
+        # affiliate tracker before the landing page.
+        if rng.random() < 0.4:
+            hops.append(
+                Url(
+                    host=f"trk{rng.randrange(1, 9)}.{serving_domain}",
+                    path="/track/hop",
+                    query=f"aff={rng.randrange(10**5)}",
+                )
+            )
+        hops.append(landing_url)
+        return RedirectChain(hops=tuple(hops))

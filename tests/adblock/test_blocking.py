@@ -1,0 +1,109 @@
+"""Tests for EasyList synthesis, extensions, and the Table 6 evaluation."""
+
+import pytest
+
+from repro.adblock.easylist import synthetic_easylist
+from repro.adblock.evaluate import evaluate_blocking
+from repro.adblock.extensions import AdBlockerExtension, popular_extensions
+from repro.adblock.rules import FilterList
+from repro.browser.network import NetworkRequest
+from repro.webenv.urls import Url
+
+
+NETWORK_DOMAINS = {
+    "Ad-Maven": "admaven.com",
+    "PopAds": "popads.com",
+    "AdsTerra": "adsterra.com",
+    "HillTopAds": "hilltopads.com",
+    "OneSignal": "onesignal.com",
+}
+
+
+def sw_request(host, path="/v1/click/report", script="https://pub.com/sw/x-push-sw.js"):
+    return NetworkRequest(
+        url=Url(host=host, path=path),
+        initiator="service_worker",
+        sw_script_url=script,
+        purpose="click_tracking",
+    )
+
+
+def page_request(host, path="/banner/ads/1"):
+    return NetworkRequest(url=Url(host=host, path=path), initiator="page")
+
+
+class TestSyntheticEasylist:
+    def test_blocks_known_pop_network_clicks(self):
+        filters = synthetic_easylist(NETWORK_DOMAINS)
+        assert filters.should_block("https://click.popads.com/c/redirect?nid=1")
+
+    def test_misses_push_api_of_most_networks(self):
+        filters = synthetic_easylist(NETWORK_DOMAINS)
+        assert not filters.should_block("https://api.admaven.com/v1/ad/resolve")
+        assert not filters.should_block("https://api.onesignal.com/v1/click/report")
+
+    def test_covers_only_legacy_api_hosts(self):
+        filters = synthetic_easylist(NETWORK_DOMAINS)
+        assert filters.should_block("https://legacy-api.adsterra.com/v1/click/report")
+        assert filters.should_block("https://legacy-api.admaven.com/v1/ad/resolve")
+
+    def test_never_matches_sw_scripts(self):
+        filters = synthetic_easylist(NETWORK_DOMAINS)
+        assert not filters.should_block("https://pub.com/sw/admaven-push-sw.js")
+
+    def test_handles_missing_networks(self):
+        filters = synthetic_easylist({})
+        assert len(filters) > 0
+
+
+class TestExtensions:
+    def test_blind_to_sw_requests(self):
+        filters = FilterList.parse("/v1/click/")
+        extension = AdBlockerExtension("test", filters)
+        assert not extension.would_block(sw_request("api.popads.com"))
+        assert extension.blocked_count == 0
+
+    def test_blocks_page_requests_it_has_rules_for(self):
+        filters = FilterList.parse("/banner/ads/")
+        extension = AdBlockerExtension("test", filters)
+        assert extension.would_block(page_request("x.com"))
+        assert extension.blocked_count == 1
+
+    def test_sw_aware_extension_can_block(self):
+        filters = FilterList.parse("/v1/click/")
+        extension = AdBlockerExtension("future", filters, sees_sw_requests=True)
+        assert extension.would_block(sw_request("api.popads.com"))
+
+    def test_popular_pair(self):
+        extensions = popular_extensions(FilterList.parse(""))
+        assert len(extensions) == 2
+        assert not any(e.sees_sw_requests for e in extensions)
+
+
+class TestEvaluateBlocking:
+    def test_table6_shape(self):
+        requests = [sw_request("api.admaven.com") for _ in range(50)]
+        requests += [sw_request("legacy-api.admaven.com") for _ in range(1)]
+        rows = evaluate_blocking(requests, NETWORK_DOMAINS)
+        assert len(rows) == 3
+        easylist = rows[0]
+        assert 0 < easylist.blocked_requests <= len(requests) * 0.05
+        for extension_row in rows[1:]:
+            assert extension_row.blocked_requests == 0
+
+    def test_paper_shape_on_real_crawl(self, small_dataset):
+        rows = evaluate_blocking(
+            small_dataset.sw_requests, small_dataset.ecosystem.network_domains
+        )
+        easylist, ext_a, ext_b = rows
+        # The paper's "<2%" holds at study scale; a 3%-scale crawl has only
+        # a handful of legacy-SDK origins, so allow small-sample variance
+        # while still asserting EasyList misses nearly everything.
+        assert easylist.blocked_pct < 5.0
+        assert ext_a.blocked_requests == 0       # extensions blocked none
+        assert ext_b.blocked_requests == 0
+        assert easylist.sw_scripts_matched == 0  # SW scripts unfiltered
+
+    def test_empty_requests(self):
+        rows = evaluate_blocking([], NETWORK_DOMAINS)
+        assert rows[0].blocked_pct == 0.0

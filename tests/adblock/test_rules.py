@@ -1,0 +1,126 @@
+"""Tests for the Adblock-Plus filter rule engine."""
+
+import pytest
+
+from repro.adblock.rules import FilterList, parse_rule
+
+
+class TestParseRule:
+    def test_comment_skipped(self):
+        assert parse_rule("! a comment") is None
+        assert parse_rule("[Adblock Plus 2.0]") is None
+        assert parse_rule("") is None
+
+    def test_element_hiding_skipped(self):
+        assert parse_rule("example.com##.ad-banner") is None
+
+    def test_plain_substring(self):
+        rule = parse_rule("/banner/ads/")
+        assert rule.matches("https://x.com/banner/ads/img.png")
+        assert not rule.matches("https://x.com/other/")
+
+    def test_exception_flag(self):
+        rule = parse_rule("@@/goodads/")
+        assert rule.is_exception
+        assert rule.matches("https://x.com/goodads/ok")
+
+    def test_domain_anchor(self):
+        rule = parse_rule("||ads.example.com^")
+        assert rule.matches("https://ads.example.com/x")
+        assert rule.matches("https://sub.ads.example.com/x")
+        assert not rule.matches("https://notads.example.com/x")
+        assert not rule.matches("https://x.com/?u=ads.example.com")
+
+    def test_start_anchor(self):
+        rule = parse_rule("|https://exact.com/path")
+        assert rule.matches("https://exact.com/path?x=1")
+        assert not rule.matches("https://other.com/https://exact.com/path")
+
+    def test_end_anchor(self):
+        rule = parse_rule("/tracker.js|")
+        assert rule.matches("https://x.com/tracker.js")
+        assert not rule.matches("https://x.com/tracker.jsx")
+
+    def test_wildcard(self):
+        rule = parse_rule("/ads/*/banner")
+        assert rule.matches("https://x.com/ads/v2/banner")
+
+    def test_separator_placeholder(self):
+        rule = parse_rule("||x.com^path")
+        assert rule.matches("https://x.com/path")
+        assert not rule.matches("https://x.comzpath/")
+
+    def test_separator_at_end_matches_eol(self):
+        rule = parse_rule("||x.com^")
+        assert rule.matches("https://x.com")
+
+    def test_dollar_options_parsed(self):
+        rule = parse_rule("/ad.js$script,third-party")
+        assert "script" in rule.options
+
+    def test_domain_option_restricts(self):
+        rule = parse_rule("/widget/$domain=news.com|blog.org")
+        assert rule.matches("https://cdn.x/widget/", source_domain="news.com")
+        assert rule.matches("https://cdn.x/widget/", source_domain="sub.blog.org")
+        assert not rule.matches("https://cdn.x/widget/", source_domain="other.com")
+        assert not rule.matches("https://cdn.x/widget/", source_domain=None)
+
+    def test_case_insensitive(self):
+        assert parse_rule("/AdFrame/").matches("https://x.com/adframe/1")
+
+
+class TestFilterList:
+    def test_parse_counts(self):
+        text = "! comment\n/a/\n@@/a/ok/\nexample.com##.x\n"
+        filters = FilterList.parse(text)
+        assert len(filters.block_rules) == 1
+        assert len(filters.exception_rules) == 1
+
+    def test_exception_overrides_block(self):
+        filters = FilterList.parse("/ads/\n@@/ads/acceptable/")
+        assert filters.should_block("https://x.com/ads/bad.js")
+        assert not filters.should_block("https://x.com/ads/acceptable/ok.js")
+
+    def test_matching_rule_returned(self):
+        filters = FilterList.parse("/ads/")
+        rule = filters.matching_rule("https://x.com/ads/1")
+        assert rule is not None and rule.raw == "/ads/"
+        assert filters.matching_rule("https://x.com/clean") is None
+
+    def test_empty_list_blocks_nothing(self):
+        assert not FilterList.parse("").should_block("https://anything.com/")
+
+    def test_len(self):
+        assert len(FilterList.parse("/a/\n/b/\n@@/c/")) == 3
+
+
+class TestThirdPartyOption:
+    def test_third_party_rule_matches_cross_origin_only(self):
+        rule = parse_rule("/tracker.js$third-party")
+        assert rule.third_party is True
+        assert rule.matches("https://cdn.ads.net/tracker.js",
+                            source_domain="www.news.com")
+        assert not rule.matches("https://static.news.com/tracker.js",
+                                source_domain="www.news.com")
+
+    def test_first_party_rule(self):
+        rule = parse_rule("/selfpromo/$~third-party")
+        assert rule.third_party is False
+        assert rule.matches("https://www.news.com/selfpromo/x",
+                            source_domain="news.com")
+        assert not rule.matches("https://other.net/selfpromo/x",
+                                source_domain="news.com")
+
+    def test_requires_source_context(self):
+        rule = parse_rule("/tracker.js$third-party")
+        assert not rule.matches("https://cdn.ads.net/tracker.js")
+
+    def test_subdomains_are_first_party(self):
+        rule = parse_rule("/x/$third-party")
+        assert not rule.matches("https://a.b.example.com/x/",
+                                source_domain="www.example.com")
+
+    def test_option_combination_with_domain(self):
+        rule = parse_rule("/w/$domain=news.com,third-party")
+        assert rule.matches("https://cdn.net/w/", source_domain="news.com")
+        assert not rule.matches("https://cdn.net/w/", source_domain="blog.org")

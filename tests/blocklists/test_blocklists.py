@@ -1,0 +1,140 @@
+"""Tests for the VirusTotal and Google Safe Browsing models."""
+
+import pytest
+
+from repro.blocklists.base import ScanVerdict, UrlTruth, url_unit_draw
+from repro.blocklists.gsb import GoogleSafeBrowsingModel
+from repro.blocklists.virustotal import VirusTotalModel
+
+
+MAL_URLS = [f"https://evil{i}.xyz/of1a/survey/start.php?sid={i}" for i in range(400)]
+BENIGN_URLS = [f"https://nice{i}.com/deals/page{i}" for i in range(400)]
+
+
+@pytest.fixture
+def truth():
+    mapping = {u: True for u in MAL_URLS}
+    mapping.update({u: False for u in BENIGN_URLS})
+    return UrlTruth(mapping)
+
+
+class TestUrlUnitDraw:
+    def test_deterministic(self):
+        assert url_unit_draw("u", "s", 1) == url_unit_draw("u", "s", 1)
+
+    def test_varies_by_salt_and_seed(self):
+        base = url_unit_draw("u", "s", 1)
+        assert url_unit_draw("u", "other", 1) != base
+        assert url_unit_draw("u", "s", 2) != base
+
+    def test_uniform_range(self):
+        draws = [url_unit_draw(f"u{i}", "s", 1) for i in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+
+class TestUrlTruth:
+    def test_unknown_is_benign(self, truth):
+        assert not truth.is_malicious("https://never-seen.example/")
+
+    def test_from_records(self, small_dataset):
+        truth = UrlTruth.from_records(small_dataset.valid_records)
+        assert len(truth) > 0
+        assert truth.malicious_urls()
+
+    def test_any_malicious_wins(self):
+        # If any WPN leading to a URL was malicious, the URL is malicious.
+        from repro.blocklists.base import UrlTruth as UT
+
+        ut = UT({"u": False})
+        assert not ut.is_malicious("u")
+
+
+class TestScanVerdict:
+    def test_flagged_needs_positives(self):
+        with pytest.raises(ValueError):
+            ScanVerdict(url="u", flagged=True, positives=0)
+
+
+class TestVirusTotalModel:
+    def test_coverage_grows_with_time(self, truth):
+        vt = VirusTotalModel(truth, seed=3, early_rate=0.03, late_rate=0.5)
+        early = sum(vt.scan(u, 0).flagged for u in MAL_URLS)
+        late = sum(vt.scan(u, 1).flagged for u in MAL_URLS)
+        assert early < late
+        assert abs(early / len(MAL_URLS) - 0.03) < 0.03
+        assert abs(late / len(MAL_URLS) - 0.5) < 0.08
+
+    def test_detections_are_nested_over_time(self, truth):
+        vt = VirusTotalModel(truth, seed=3)
+        for url in MAL_URLS[:100]:
+            if vt.scan(url, 0).flagged:
+                assert vt.scan(url, 1).flagged
+            if vt.scan(url, 1).flagged:
+                assert vt.scan(url, 3).flagged
+
+    def test_rescan_is_consistent(self, truth):
+        vt = VirusTotalModel(truth, seed=3)
+        for url in MAL_URLS[:50]:
+            assert vt.scan(url, 1).flagged == vt.scan(url, 1).flagged
+
+    def test_false_positive_rate_low(self, truth):
+        vt = VirusTotalModel(truth, seed=3, fp_rate=0.004)
+        fps = sum(vt.scan(u, 1).flagged for u in BENIGN_URLS)
+        assert fps <= len(BENIGN_URLS) * 0.03
+
+    def test_flagged_verdict_has_positives(self, truth):
+        vt = VirusTotalModel(truth, seed=3, late_rate=1.0)
+        verdict = vt.scan(MAL_URLS[0], 1)
+        assert verdict.flagged
+        assert 1 <= verdict.positives <= 7
+        assert verdict.total_engines == 70
+
+    def test_invalid_rates(self, truth):
+        with pytest.raises(ValueError):
+            VirusTotalModel(truth, early_rate=0.9, late_rate=0.1)
+        with pytest.raises(ValueError):
+            VirusTotalModel(truth, fp_rate=1.5)
+
+    def test_negative_month_rejected(self, truth):
+        with pytest.raises(ValueError):
+            VirusTotalModel(truth).scan("u", months_elapsed=-1)
+
+    def test_scan_many(self, truth):
+        vt = VirusTotalModel(truth, seed=3)
+        verdicts = vt.scan_many(MAL_URLS[:10], 1)
+        assert set(verdicts) == set(MAL_URLS[:10])
+
+    def test_full_url_granularity(self, truth):
+        # Two URLs on the same domain get independent verdicts.
+        mapping = {"https://d.xyz/a": True, "https://d.xyz/b": True}
+        vt = VirusTotalModel(UrlTruth(mapping), seed=11, late_rate=0.5)
+        flags = {u: vt.scan(u, 1).flagged for u in mapping}
+        # Not asserting they differ for this seed, only that the model
+        # tracks full URLs, not domains:
+        assert len(flags) == 2
+
+
+class TestGsbModel:
+    def test_low_stable_coverage(self, truth):
+        gsb = GoogleSafeBrowsingModel(truth, seed=3, coverage=0.03)
+        early = sum(gsb.scan(u, 0).flagged for u in MAL_URLS)
+        late = sum(gsb.scan(u, 1).flagged for u in MAL_URLS)
+        assert early == late  # time-invariant
+        assert early <= len(MAL_URLS) * 0.08
+
+    def test_no_false_positives(self, truth):
+        gsb = GoogleSafeBrowsingModel(truth, seed=3, coverage=1.0)
+        assert not any(gsb.scan(u).flagged for u in BENIGN_URLS)
+
+    def test_invalid_coverage(self, truth):
+        with pytest.raises(ValueError):
+            GoogleSafeBrowsingModel(truth, coverage=-0.1)
+
+    def test_misses_what_vt_misses_independently(self, truth):
+        vt = VirusTotalModel(truth, seed=3, late_rate=0.5)
+        gsb = GoogleSafeBrowsingModel(truth, seed=3, coverage=0.5)
+        vt_flags = {u for u in MAL_URLS if vt.scan(u, 1).flagged}
+        gsb_flags = {u for u in MAL_URLS if gsb.scan(u).flagged}
+        # Different salts: the two services flag different subsets.
+        assert vt_flags != gsb_flags

@@ -1,0 +1,147 @@
+"""Tests for the instrumented browser: visit, push, click."""
+
+import pytest
+
+from repro.browser.browser import InstrumentedBrowser
+from repro.browser.events import EventKind
+from repro.push.fcm import FcmService
+from repro.util.rng import RngFactory
+
+
+def find_site(ecosystem, kind, prompting=True):
+    for site in ecosystem.websites:
+        if site.kind == kind and site.requests_permission == prompting:
+            return site
+    raise AssertionError(f"no {kind} site found")
+
+
+@pytest.fixture
+def browser(small_ecosystem):
+    return InstrumentedBrowser(
+        small_ecosystem,
+        FcmService(),
+        rng=RngFactory(99).stream("browser"),
+        platform="desktop",
+    )
+
+
+class TestVisit:
+    def test_plain_site_no_subscription(self, browser, small_ecosystem):
+        site = find_site(small_ecosystem, "plain", prompting=False)
+        visit = browser.visit(site, 0.0)
+        assert visit.decision is None
+        assert visit.subscriptions == ()
+        assert browser.events.count(EventKind.NAVIGATION) == 1
+        assert browser.events.count(EventKind.SW_REGISTERED) == 0
+
+    def test_publisher_registers_network_sw(self, browser, small_ecosystem):
+        site = find_site(small_ecosystem, "publisher")
+        visit = browser.visit(site, 0.0)
+        assert visit.decision == "granted"
+        assert len(visit.subscriptions) == len(site.network_names)
+        sub = visit.subscriptions[0]
+        assert sub.network_name == site.network_names[0]
+        assert sub.origin == site.url.origin
+        registration = browser.sw_runtime.registrations[0]
+        assert registration.script_url.startswith(site.url.origin)
+        assert registration.is_ad_sw
+
+    def test_alert_site_registers_own_sw(self, browser, small_ecosystem):
+        site = find_site(small_ecosystem, "alert")
+        visit = browser.visit(site, 0.0)
+        sub = visit.subscriptions[0]
+        assert sub.network_name is None
+        assert sub.alert_family == site.alert_family
+        assert browser.sw_runtime.registrations[0].script_url.endswith("/sw.js")
+
+    def test_permission_prompt_delay_respected(self, browser, small_ecosystem):
+        site = find_site(small_ecosystem, "publisher")
+        browser.visit(site, 10.0)
+        prompt = browser.events.of_kind(EventKind.PERMISSION_REQUESTED)[0]
+        assert prompt.time_min == pytest.approx(10.0 + site.permission_delay_min)
+
+    def test_invalid_platform(self, small_ecosystem):
+        with pytest.raises(ValueError):
+            InstrumentedBrowser(
+                small_ecosystem, FcmService(),
+                rng=RngFactory(1).stream("x"), platform="fridge",
+            )
+
+
+class TestPushAndClick:
+    def _subscribe_and_push(self, browser, ecosystem):
+        site = find_site(ecosystem, "publisher")
+        visit = browser.visit(site, 0.0)
+        sub = visit.subscriptions[0]
+        creative = None
+        rng = RngFactory(1).stream("push")
+        while creative is None:
+            creative = ecosystem.sample_ad_message(
+                sub.network_name, "desktop", rng
+            )
+        browser.fcm.send(sub.endpoint, creative, now_min=2.0)
+        delivery = browser.fcm.deliver(sub.endpoint, now_min=3.0)[0]
+        return browser.receive_push(delivery, 3.0)
+
+    def test_receive_push_shows_notification(self, browser, small_ecosystem):
+        notification = self._subscribe_and_push(browser, small_ecosystem)
+        assert browser.events.count(EventKind.NOTIFICATION_SHOWN) == 1
+        assert notification.title == notification.delivery.creative.title
+        # SW fetched the ad config when handling the push.
+        assert browser.events.count(EventKind.SW_NETWORK_REQUEST) >= 1
+
+    def test_click_produces_landing_or_crash(self, browser, small_ecosystem):
+        notification = self._subscribe_and_push(browser, small_ecosystem)
+        outcome = browser.click_notification(notification, 3.1)
+        assert browser.events.count(EventKind.NOTIFICATION_CLICKED) == 1
+        if outcome.valid:
+            assert outcome.landing_page is not None
+            assert outcome.chain is not None
+            assert browser.events.count(EventKind.TAB_CRASHED) == 0
+        else:
+            assert outcome.crashed
+            assert browser.events.count(EventKind.TAB_CRASHED) == 1
+
+    def test_click_sends_tracking_request(self, browser, small_ecosystem):
+        notification = self._subscribe_and_push(browser, small_ecosystem)
+        outcome = browser.click_notification(notification, 3.1)
+        purposes = {r.purpose for r in outcome.sw_requests}
+        assert "click_tracking" in purposes
+        assert all(r.initiator == "service_worker" for r in outcome.sw_requests)
+
+    def test_double_click_rejected(self, browser, small_ecosystem):
+        notification = self._subscribe_and_push(browser, small_ecosystem)
+        browser.click_notification(notification, 3.1)
+        with pytest.raises(ValueError):
+            browser.click_notification(notification, 3.2)
+
+    def test_valid_click_rate_honored(self, small_ecosystem):
+        valid = 0
+        total = 40
+        for i in range(total):
+            browser = InstrumentedBrowser(
+                small_ecosystem, FcmService(),
+                rng=RngFactory(i).stream("rate"), platform="desktop",
+            )
+            notification = TestPushAndClick()._subscribe_and_push(
+                browser, small_ecosystem
+            )
+            if browser.click_notification(notification, 3.1).valid:
+                valid += 1
+        expected = small_ecosystem.config.desktop_valid_click_rate
+        assert abs(valid / total - expected) < 0.2
+
+    def test_push_to_unknown_endpoint_raises(self, browser, small_ecosystem):
+        other = InstrumentedBrowser(
+            small_ecosystem, browser.fcm,
+            rng=RngFactory(2).stream("o"), platform="desktop",
+        )
+        site = find_site(small_ecosystem, "publisher")
+        visit = other.visit(site, 0.0)
+        sub = visit.subscriptions[0]
+        rng = RngFactory(1).stream("push")
+        creative = small_ecosystem.sample_ad_message(sub.network_name, "desktop", rng)
+        browser.fcm.send(sub.endpoint, creative, 1.0)
+        delivery = browser.fcm.deliver(sub.endpoint, 2.0)[0]
+        with pytest.raises(KeyError):
+            browser.receive_push(delivery, 2.0)  # registered in `other`

@@ -1,0 +1,135 @@
+"""Tests for the event log and permission manager."""
+
+import pytest
+
+from repro.browser.events import BrowserEvent, EventKind, EventLog
+from repro.browser.permissions import PermissionManager, QuietUiPolicy
+from repro.webenv.urls import Url
+from repro.webenv.website import Website, plain_page_source
+
+
+def prompting_site(host="www.site.com", **kwargs):
+    defaults = dict(
+        url=Url(host=host),
+        kind="alert",
+        page_source=plain_page_source("k"),
+        seed_keyword="row",
+        alert_family="breaking_news",
+        requests_permission=True,
+        opt_in_rate=0.5,
+    )
+    defaults.update(kwargs)
+    return Website(**defaults)
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(EventKind.NAVIGATION, 1.0, url="https://x.com/")
+        log.emit(EventKind.NOTIFICATION_SHOWN, 2.0, title="hi")
+        assert len(log) == 2
+        assert log.count(EventKind.NAVIGATION) == 1
+        assert log.of_kind(EventKind.NOTIFICATION_SHOWN)[0].data["title"] == "hi"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BrowserEvent(kind="made_up", time_min=0.0)
+
+    def test_extend_from(self):
+        a, b = EventLog(), EventLog()
+        a.emit(EventKind.NAVIGATION, 1.0)
+        b.emit(EventKind.REDIRECT, 2.0)
+        a.extend_from(b)
+        assert len(a) == 2
+
+
+class TestPermissionManager:
+    def test_auto_grant_and_persistence(self):
+        log = EventLog()
+        manager = PermissionManager(log)
+        site = prompting_site()
+        assert manager.request_permission(site, 0.0) == PermissionManager.GRANTED
+        # Second request: persisted decision, no new prompt events.
+        events_before = len(log)
+        assert manager.request_permission(site, 5.0) == PermissionManager.GRANTED
+        assert len(log) == events_before
+
+    def test_denying_manager(self):
+        manager = PermissionManager(EventLog(), auto_grant=False)
+        assert (
+            manager.request_permission(prompting_site(), 0.0)
+            == PermissionManager.DENIED
+        )
+
+    def test_events_logged_in_order(self):
+        log = EventLog()
+        PermissionManager(log).request_permission(prompting_site(), 0.0)
+        kinds = [e.kind for e in log]
+        assert kinds == [
+            EventKind.PERMISSION_REQUESTED,
+            EventKind.PERMISSION_DECIDED,
+        ]
+
+    def test_revoke(self):
+        manager = PermissionManager(EventLog())
+        site = prompting_site()
+        manager.request_permission(site, 0.0)
+        manager.revoke(site.url.origin)
+        assert manager.state(site.url.origin) is None
+
+    def test_granted_origins(self):
+        manager = PermissionManager(EventLog())
+        manager.request_permission(prompting_site(), 0.0)
+        assert list(manager.granted_origins) == ["https://www.site.com"]
+
+
+class TestDoublePermission:
+    def test_pre_prompt_logged_then_real_prompt(self):
+        log = EventLog()
+        manager = PermissionManager(log)
+        site = prompting_site(double_permission=True)
+        assert manager.request_permission(site, 0.0) == PermissionManager.GRANTED
+        kinds = [e.kind for e in log]
+        assert kinds[0] == EventKind.DOUBLE_PERMISSION_PROMPT
+        assert EventKind.PERMISSION_REQUESTED in kinds
+
+    def test_ignoring_pre_prompt_blocks_real_prompt(self):
+        log = EventLog()
+        manager = PermissionManager(log, interact_with_double_prompts=False)
+        site = prompting_site(double_permission=True)
+        assert manager.request_permission(site, 0.0) == PermissionManager.DENIED
+        assert log.count(EventKind.PERMISSION_REQUESTED) == 0
+
+
+class TestQuietUi:
+    def test_disabled_never_suppresses(self):
+        policy = QuietUiPolicy(enabled=False)
+        assert not policy.suppresses(prompting_site(opt_in_rate=0.0), True)
+
+    def test_no_crowd_data_no_suppression(self):
+        # Chrome 80 as the paper found it: feature on, no data, blocks nothing.
+        policy = QuietUiPolicy(enabled=True, crowd_coverage=0.0)
+        site = prompting_site(opt_in_rate=0.01)
+        manager = PermissionManager(EventLog(), quiet_ui=policy)
+        assert (
+            manager.request_permission(site, 0.0, has_crowd_data=False)
+            == PermissionManager.GRANTED
+        )
+
+    def test_trained_feature_suppresses_low_optin(self):
+        policy = QuietUiPolicy(enabled=True, optin_threshold=0.10)
+        site = prompting_site(opt_in_rate=0.01)
+        manager = PermissionManager(EventLog(), quiet_ui=policy)
+        assert (
+            manager.request_permission(site, 0.0, has_crowd_data=True)
+            == PermissionManager.SUPPRESSED
+        )
+
+    def test_high_optin_not_suppressed(self):
+        policy = QuietUiPolicy(enabled=True, optin_threshold=0.10)
+        site = prompting_site(opt_in_rate=0.8)
+        manager = PermissionManager(EventLog(), quiet_ui=policy)
+        assert (
+            manager.request_permission(site, 0.0, has_crowd_data=True)
+            == PermissionManager.GRANTED
+        )

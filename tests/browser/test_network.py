@@ -1,0 +1,74 @@
+"""Tests for the browser network stack and request records."""
+
+import pytest
+
+from repro.browser.events import EventKind, EventLog
+from repro.browser.network import NetworkRequest, NetworkStack
+from repro.webenv.landing import RedirectChain
+from repro.webenv.urls import Url
+
+
+class TestNetworkRequest:
+    def test_initiator_validated(self):
+        with pytest.raises(ValueError):
+            NetworkRequest(url=Url(host="a.com"), initiator="extension")
+
+    def test_sw_requests_need_script_url(self):
+        with pytest.raises(ValueError):
+            NetworkRequest(url=Url(host="a.com"), initiator="service_worker")
+
+    def test_page_request_defaults(self):
+        request = NetworkRequest(url=Url(host="a.com"), initiator="page")
+        assert request.purpose == "navigation"
+        assert request.sw_script_url is None
+
+
+class TestNetworkStack:
+    def test_navigate_logs_and_records(self):
+        log = EventLog()
+        stack = NetworkStack(log)
+        stack.navigate(Url(host="a.com", path="/x"), 1.0)
+        assert log.count(EventKind.NAVIGATION) == 1
+        assert len(stack.requests) == 1
+        assert stack.requests[0].url.path == "/x"
+
+    def test_follow_chain_logs_every_hop(self):
+        log = EventLog()
+        stack = NetworkStack(log)
+        chain = RedirectChain(hops=(
+            Url(host="click.net", path="/c"),
+            Url(host="trk.net", path="/t"),
+            Url(host="land.xyz", path="/offer"),
+        ))
+        landing = stack.follow_chain(chain, 2.0)
+        assert landing.host == "land.xyz"
+        assert log.count(EventKind.NAVIGATION) == 1
+        assert log.count(EventKind.REDIRECT) == 2
+        redirects = log.of_kind(EventKind.REDIRECT)
+        assert redirects[0].data["from_url"] == "https://click.net/c"
+        assert redirects[-1].data["to_url"] == "https://land.xyz/offer"
+
+    def test_single_hop_chain_has_no_redirects(self):
+        log = EventLog()
+        stack = NetworkStack(log)
+        chain = RedirectChain(hops=(Url(host="direct.com", path="/p"),))
+        stack.follow_chain(chain, 0.0)
+        assert log.count(EventKind.REDIRECT) == 0
+
+    def test_record_does_not_emit_navigation(self):
+        log = EventLog()
+        stack = NetworkStack(log)
+        request = NetworkRequest(
+            url=Url(host="api.net"), initiator="service_worker",
+            sw_script_url="https://p.com/sw.js", purpose="click_tracking",
+        )
+        stack.record(request, 0.0)
+        assert log.count(EventKind.NAVIGATION) == 0
+        assert stack.requests == [request]
+
+    def test_requests_returns_copy(self):
+        stack = NetworkStack(EventLog())
+        stack.navigate(Url(host="a.com"), 0.0)
+        snapshot = stack.requests
+        snapshot.clear()
+        assert len(stack.requests) == 1

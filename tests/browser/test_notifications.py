@@ -1,0 +1,101 @@
+"""Tests for the notification center: show, click, actions, close."""
+
+import pytest
+
+from repro.browser.events import EventKind, EventLog
+from repro.browser.notifications import NotificationCenter
+from repro.browser.service_worker import ServiceWorkerRuntime
+from repro.push.fcm import FcmService
+from repro.webenv.campaigns import MessageCreative
+
+
+def shown_notification(actions=(), icon_brand=None):
+    log = EventLog()
+    center = NotificationCenter(log)
+    runtime = ServiceWorkerRuntime(log, {"Ad-Maven": "admaven.com"})
+    registration = runtime.register(
+        "https://pub.com", "https://pub.com/", "Ad-Maven", 0.0
+    )
+    fcm = FcmService()
+    sub = fcm.subscribe(
+        origin="https://pub.com", source_url="https://pub.com/",
+        sw_script_url=registration.script_url, network_name="Ad-Maven",
+        platform="desktop",
+    )
+    creative = MessageCreative(
+        title="(1) New Prize Pending", body="Claim your prize",
+        landing_domain="win.xyz", landing_path="/p", landing_query="",
+        campaign_id="cmp00001", family_name="sweepstakes", malicious=True,
+        icon_brand=icon_brand, actions=tuple(actions),
+    )
+    fcm.send(sub.endpoint, creative, 0.0)
+    delivery = fcm.deliver(sub.endpoint, 1.0)[0]
+    return center, log, center.show(registration, delivery, 1.0)
+
+
+class TestShow:
+    def test_metadata_logged(self):
+        center, log, notification = shown_notification(actions=("Claim now",))
+        event = log.of_kind(EventKind.NOTIFICATION_SHOWN)[0]
+        assert event.data["title"] == "(1) New Prize Pending"
+        assert event.data["actions"] == ["Claim now"]
+        assert notification.actions == ("Claim now",)
+
+    def test_brand_icon_propagates(self):
+        _, _, notification = shown_notification(icon_brand="paypal")
+        assert notification.icon_url.endswith("/icons/paypal.png")
+
+    def test_generic_icon_uses_family(self):
+        _, _, notification = shown_notification()
+        assert notification.icon_url.endswith("/icons/push-sweepstakes.png")
+
+
+class TestClickAndClose:
+    def test_click_is_exclusive(self):
+        center, log, notification = shown_notification()
+        center.click(notification, 2.0)
+        assert center.was_clicked(notification)
+        with pytest.raises(ValueError):
+            center.close(notification, 3.0)
+
+    def test_close_logged_and_exclusive(self):
+        center, log, notification = shown_notification()
+        center.close(notification, 2.0)
+        assert log.count(EventKind.NOTIFICATION_CLOSED) == 1
+        with pytest.raises(ValueError):
+            center.click(notification, 3.0)
+
+    def test_action_click(self):
+        center, log, notification = shown_notification(
+            actions=("Claim now", "No thanks")
+        )
+        label = center.click_action(notification, 1, 2.0)
+        assert label == "No thanks"
+        event = log.of_kind(EventKind.NOTIFICATION_ACTION_CLICKED)[0]
+        assert event.data["action"] == "No thanks"
+
+    def test_action_index_validated(self):
+        center, _, notification = shown_notification(actions=("Only one",))
+        with pytest.raises(IndexError):
+            center.click_action(notification, 5, 2.0)
+
+    def test_action_click_is_exclusive(self):
+        center, _, notification = shown_notification(actions=("A",))
+        center.click_action(notification, 0, 2.0)
+        with pytest.raises(ValueError):
+            center.click(notification, 2.1)
+
+
+class TestEndToEndActions:
+    def test_campaign_actions_reach_notifications(self, small_ecosystem):
+        # Some generated families carry action buttons; find one creative.
+        from repro.util.rng import RngFactory
+
+        rng = RngFactory(2).stream("actions")
+        found = False
+        for _ in range(300):
+            creative = small_ecosystem.sample_ad_message("Ad-Maven", "desktop", rng)
+            if creative is not None and creative.actions:
+                found = True
+                break
+        assert found, "no action-carrying creatives sampled"

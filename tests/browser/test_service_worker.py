@@ -1,0 +1,121 @@
+"""Tests for the service worker runtime (registration + handlers)."""
+
+import pytest
+
+from repro.browser.events import EventKind, EventLog
+from repro.browser.service_worker import (
+    LEGACY_SDK_RATE,
+    ServiceWorkerRuntime,
+    _is_legacy_embed,
+)
+from repro.push.fcm import FcmService
+from repro.webenv.campaigns import MessageCreative
+
+NETWORK_DOMAINS = {"Ad-Maven": "admaven.com", "OneSignal": "onesignal.com"}
+
+
+def runtime():
+    return ServiceWorkerRuntime(EventLog(), NETWORK_DOMAINS)
+
+
+def delivery_for(fcm, origin="https://pub.com"):
+    sub = fcm.subscribe(
+        origin=origin, source_url=f"{origin}/", sw_script_url=f"{origin}/sw.js",
+        network_name="Ad-Maven", platform="desktop",
+    )
+    creative = MessageCreative(
+        title="t", body="b", landing_domain="l.com", landing_path="/p",
+        landing_query="", campaign_id="cmp00001",
+        family_name="survey_scam", malicious=True,
+    )
+    fcm.send(sub.endpoint, creative, 0.0)
+    return fcm.deliver(sub.endpoint, 1.0)[0]
+
+
+class TestRegistration:
+    def test_network_sw_script_served_from_publisher_origin(self):
+        rt = runtime()
+        reg = rt.register("https://pub.com", "https://pub.com/", "Ad-Maven", 0.0)
+        assert reg.script_url == "https://pub.com/sw/admaven-push-sw.js"
+        assert reg.is_ad_sw
+
+    def test_site_own_sw(self):
+        rt = runtime()
+        reg = rt.register("https://news.com", "https://news.com/", None, 0.0)
+        assert reg.script_url == "https://news.com/sw.js"
+        assert not reg.is_ad_sw
+        assert not reg.legacy_sdk
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(KeyError):
+            runtime().register("https://pub.com", "https://pub.com/", "Nope", 0.0)
+
+    def test_registration_event_emitted(self):
+        log = EventLog()
+        rt = ServiceWorkerRuntime(log, NETWORK_DOMAINS)
+        rt.register("https://pub.com", "https://pub.com/", "Ad-Maven", 2.0)
+        events = log.of_kind(EventKind.SW_REGISTERED)
+        assert len(events) == 1
+        assert events[0].data["origin"] == "https://pub.com"
+
+
+class TestLegacySdk:
+    def test_legacy_flag_is_origin_stable(self):
+        assert _is_legacy_embed("https://a.com", "Ad-Maven") == _is_legacy_embed(
+            "https://a.com", "Ad-Maven"
+        )
+
+    def test_legacy_rate_approximate(self):
+        hits = sum(
+            _is_legacy_embed(f"https://site{i}.com", "Ad-Maven")
+            for i in range(3000)
+        )
+        assert abs(hits / 3000 - LEGACY_SDK_RATE) < 0.02
+
+    def test_legacy_sw_talks_to_legacy_api(self):
+        rt = runtime()
+        legacy_origin = next(
+            f"https://site{i}.com"
+            for i in range(10_000)
+            if _is_legacy_embed(f"https://site{i}.com", "Ad-Maven")
+        )
+        reg = rt.register(legacy_origin, f"{legacy_origin}/", "Ad-Maven", 0.0)
+        assert reg.legacy_sdk
+        requests = rt.handle_notification_click(reg, 1.0)
+        assert requests[0].url.host == "legacy-api.admaven.com"
+
+    def test_modern_sw_talks_to_current_api(self):
+        rt = runtime()
+        modern_origin = next(
+            f"https://site{i}.com"
+            for i in range(10_000)
+            if not _is_legacy_embed(f"https://site{i}.com", "Ad-Maven")
+        )
+        reg = rt.register(modern_origin, f"{modern_origin}/", "Ad-Maven", 0.0)
+        requests = rt.handle_notification_click(reg, 1.0)
+        assert requests[0].url.host == "api.admaven.com"
+
+
+class TestHandlers:
+    def test_push_handler_fetches_ad_config(self):
+        rt = runtime()
+        fcm = FcmService()
+        reg = rt.register("https://pub.com", "https://pub.com/", "Ad-Maven", 0.0)
+        requests = rt.handle_push(reg, delivery_for(fcm), 1.0)
+        assert len(requests) == 1
+        assert requests[0].purpose == "ad_resolve"
+        assert requests[0].initiator == "service_worker"
+
+    def test_site_own_sw_makes_no_requests(self):
+        rt = runtime()
+        fcm = FcmService()
+        reg = rt.register("https://news.com", "https://news.com/", None, 0.0)
+        assert rt.handle_push(reg, delivery_for(fcm), 1.0) == []
+        assert rt.handle_notification_click(reg, 1.0) == []
+
+    def test_click_handler_reports(self):
+        rt = runtime()
+        reg = rt.register("https://pub.com", "https://pub.com/", "Ad-Maven", 0.0)
+        requests = rt.handle_notification_click(reg, 1.0)
+        assert requests[0].purpose == "click_tracking"
+        assert "click/report" in requests[0].url.path

@@ -1,0 +1,108 @@
+"""Tests for cross-session tracking and the per-URL-container mitigation."""
+
+import pytest
+
+from repro.browser.browser import InstrumentedBrowser
+from repro.browser.tracking import CookieJar, CrossSessionTracker
+from repro.push.fcm import FcmService
+from repro.util.rng import RngFactory
+
+
+def tracked_publishers(ecosystem, network="Ad-Maven", limit=40):
+    sites = [
+        s for s in ecosystem.websites
+        if s.kind == "publisher" and s.requests_permission
+        and network in s.network_names
+    ]
+    return sites[:limit]
+
+
+class TestCookieJar:
+    def test_set_and_query(self):
+        jar = CookieJar()
+        assert not jar.has_tracker("Ad-Maven")
+        jar.set_tracker("Ad-Maven")
+        assert jar.has_tracker("Ad-Maven")
+        assert len(jar) == 1
+        jar.clear()
+        assert len(jar) == 0
+
+
+class TestCrossSessionTracker:
+    def test_fresh_profile_always_prompted(self):
+        tracker = CrossSessionTracker(reprompt_rate=0.0)
+        rng = RngFactory(1).stream("t")
+        assert tracker.allows_prompt(CookieJar(), ("Ad-Maven",), rng)
+
+    def test_tracked_profile_mostly_suppressed(self):
+        tracker = CrossSessionTracker(reprompt_rate=0.0)
+        jar = CookieJar()
+        tracker.record_visit(jar, ("Ad-Maven",))
+        rng = RngFactory(1).stream("t")
+        assert not tracker.allows_prompt(jar, ("Ad-Maven",), rng)
+
+    def test_non_tracking_network_unaffected(self):
+        tracker = CrossSessionTracker(reprompt_rate=0.0)
+        jar = CookieJar()
+        tracker.record_visit(jar, ("OneSignal",))
+        rng = RngFactory(1).stream("t")
+        assert "OneSignal" not in jar.trackers
+        assert tracker.allows_prompt(jar, ("OneSignal",), rng)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            CrossSessionTracker(reprompt_rate=1.5)
+
+    def test_shared_profile_loses_prompts(self, small_ecosystem):
+        """The paper's rationale for one container per URL: a shared
+        profile sees far fewer prompts from tracking networks."""
+        sites = tracked_publishers(small_ecosystem)
+        assert len(sites) >= 10
+        tracker = CrossSessionTracker(reprompt_rate=0.0)
+
+        shared_jar = CookieJar()
+        shared_browser = InstrumentedBrowser(
+            small_ecosystem, FcmService(), rng=RngFactory(2).stream("shared"),
+            tracker=tracker, cookie_jar=shared_jar,
+        )
+        shared_prompts = sum(
+            1 for site in sites
+            if shared_browser.visit(site, 0.0).decision == "granted"
+        )
+
+        isolated_prompts = 0
+        for i, site in enumerate(sites):
+            browser = InstrumentedBrowser(
+                small_ecosystem, FcmService(),
+                rng=RngFactory(100 + i).stream("iso"),
+                tracker=tracker, cookie_jar=CookieJar(),  # fresh per URL
+            )
+            if browser.visit(site, 0.0).decision == "granted":
+                isolated_prompts += 1
+
+        assert shared_prompts == 1           # only the first visit prompts
+        assert isolated_prompts == len(sites)
+
+
+class TestEmulatorDetection:
+    def test_emulated_device_sees_fewer_malicious_ads(self, small_ecosystem):
+        rng_real = RngFactory(1).stream("real")
+        rng_emu = RngFactory(1).stream("emu")
+
+        def malicious_share(rng, emulated):
+            hits = 0
+            total = 0
+            for _ in range(400):
+                message = small_ecosystem.sample_ad_message(
+                    "Ad-Maven", "mobile", rng, emulated=emulated
+                )
+                if message is not None:
+                    total += 1
+                    hits += message.malicious
+            return hits / total
+
+        real = malicious_share(rng_real, emulated=False)
+        emulated = malicious_share(rng_emu, emulated=True)
+        # The penalty must visibly depress the malicious share; the exact
+        # gap depends on how benign-poor the network's mobile pool is.
+        assert real > emulated + 0.1

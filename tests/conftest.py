@@ -1,0 +1,43 @@
+"""Shared fixtures: one small crawled world reused across the suite.
+
+Building the ecosystem + crawl is the expensive part, so integration-level
+fixtures are session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+from repro.crawler.seeds import discover_seeds
+from repro.webenv.generator import generate_ecosystem
+
+
+SMALL_SEED = 7
+SMALL_SCALE = 0.03
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return paper_scenario(seed=SMALL_SEED, scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_ecosystem(small_config):
+    return generate_ecosystem(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_discovery(small_ecosystem):
+    return discover_seeds(small_ecosystem)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config):
+    return run_full_crawl(config=small_config)
+
+
+@pytest.fixture(scope="session")
+def small_result(small_dataset):
+    miner = PushAdMiner.for_dataset(small_dataset)
+    return miner.run(small_dataset.valid_records)

@@ -1,0 +1,76 @@
+"""Tests for the campaign-level malicious detector."""
+
+import pytest
+
+from repro.core.detector import (
+    CAMPAIGN_FEATURE_NAMES,
+    MaliciousCampaignDetector,
+    extract_campaign_features,
+)
+
+
+class TestCampaignFeatures:
+    def test_vector_shape(self, small_result):
+        cluster = next(c for c in small_result.clusters if len(c) > 1)
+        features = extract_campaign_features(cluster)
+        assert len(features) == len(CAMPAIGN_FEATURE_NAMES)
+
+    def test_structural_features(self, small_result):
+        cluster = next(
+            c for c in small_result.clusters
+            if c.cluster_id in small_result.campaign_cluster_ids
+        )
+        named = dict(zip(CAMPAIGN_FEATURE_NAMES, extract_campaign_features(cluster)))
+        assert named["cluster_size"] == len(cluster)
+        assert named["n_source_domains"] == len(cluster.source_etld1s)
+        assert named["n_source_domains"] > 1  # it is a campaign
+        assert 0.0 < named["distinct_titles_ratio"] <= 1.0
+
+    def test_invalid_only_cluster_rejected(self):
+        from repro.core.campaigns import WpnCluster
+        from tests.core.test_records_features import make_record
+
+        invalid = make_record(valid=False, landing_url=None, redirect_hops=(),
+                              visual_hash=None, landing_ip=None,
+                              landing_registrant=None)
+        with pytest.raises(ValueError):
+            extract_campaign_features(WpnCluster(0, [invalid]))
+
+
+def pipeline_cluster_labels(result):
+    """Clusters with any pipeline-confirmed-malicious member."""
+    confirmed = (
+        result.labeling.confirmed_malicious_ids
+        | result.suspicion.confirmed_malicious_ids
+    )
+    return {c.cluster_id for c in result.clusters if c.wpn_ids & confirmed}
+
+
+class TestCampaignDetector:
+    def test_learns_from_pipeline_labels(self, small_result):
+        clusters = list(small_result.clusters)
+        detector = MaliciousCampaignDetector().fit(
+            clusters, pipeline_cluster_labels(small_result)
+        )
+        metrics = detector.evaluate(clusters)
+        assert metrics.auc > 0.85
+        assert metrics.recall > 0.5
+        assert metrics.precision > 0.7
+
+    def test_weights_exposed(self, small_result):
+        detector = MaliciousCampaignDetector().fit(
+            small_result.clusters, small_result.malicious_campaign_cluster_ids
+        )
+        weights = detector.feature_weights()
+        assert set(weights) == set(CAMPAIGN_FEATURE_NAMES)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MaliciousCampaignDetector().feature_weights()
+
+    def test_scores_bounded(self, small_result):
+        detector = MaliciousCampaignDetector().fit(
+            small_result.clusters, small_result.malicious_campaign_cluster_ids
+        )
+        scores = detector.score(small_result.clusters)
+        assert (scores >= 0).all() and (scores <= 1).all()

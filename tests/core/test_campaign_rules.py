@@ -1,0 +1,99 @@
+"""Tests for cluster building and the ad-campaign rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import (
+    WpnCluster,
+    ad_campaign_clusters,
+    build_clusters,
+    is_ad_campaign,
+    singleton_clusters,
+)
+from tests.core.test_records_features import make_record
+
+
+def record_from(source, landing, wpn_id, title="t"):
+    return make_record(
+        wpn_id=wpn_id,
+        source_url=f"https://www.{source}/",
+        landing_url=f"https://{landing}/of1a/survey/start.php?sid=1",
+        title=title,
+    )
+
+
+class TestBuildClusters:
+    def test_groups_by_label(self):
+        records = [record_from("a.com", "x.xyz", f"w{i}") for i in range(4)]
+        labels = np.array([0, 0, 1, 1])
+        clusters = build_clusters(records, labels)
+        assert [len(c) for c in clusters] == [2, 2]
+        assert clusters[0].cluster_id == 0
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            build_clusters([record_from("a.com", "x.xyz", "w1")], np.array([0, 1]))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            WpnCluster(cluster_id=0, records=[])
+
+
+class TestAdCampaignRule:
+    def test_multi_source_is_campaign(self):
+        cluster = WpnCluster(0, [
+            record_from("a.com", "x.xyz", "w1"),
+            record_from("b.com", "x.xyz", "w2"),
+        ])
+        assert is_ad_campaign(cluster)
+
+    def test_single_source_is_not(self):
+        cluster = WpnCluster(0, [
+            record_from("a.com", "x.xyz", "w1"),
+            record_from("a.com", "x.xyz", "w2"),
+        ])
+        assert not is_ad_campaign(cluster)
+
+    def test_subdomains_collapse_to_one_source(self):
+        # www.a.com and news.a.com are the same eTLD+1 source.
+        cluster = WpnCluster(0, [
+            record_from("www.a.com", "x.xyz", "w1"),
+            record_from("news.a.com", "x.xyz", "w2"),
+        ])
+        assert not is_ad_campaign(cluster)
+
+    def test_singleton_is_never_campaign(self):
+        cluster = WpnCluster(0, [record_from("a.com", "x.xyz", "w1")])
+        assert cluster.is_singleton
+        assert not is_ad_campaign(cluster)
+
+
+class TestClusterProperties:
+    def test_landing_sets(self):
+        cluster = WpnCluster(0, [
+            record_from("a.com", "x.xyz", "w1"),
+            record_from("b.com", "y.club", "w2"),
+        ])
+        assert cluster.landing_etld1s == {"x.xyz", "y.club"}
+        assert len(cluster.landing_urls) == 2
+        assert cluster.wpn_ids == {"w1", "w2"}
+
+    def test_invalid_members_do_not_contribute_landings(self):
+        invalid = make_record(
+            wpn_id="w9", valid=False, landing_url=None, redirect_hops=(),
+            visual_hash=None, landing_ip=None, landing_registrant=None,
+        )
+        cluster = WpnCluster(0, [invalid])
+        assert cluster.landing_etld1s == set()
+
+    def test_helpers(self):
+        clusters = [
+            WpnCluster(0, [record_from("a.com", "x.xyz", "w1")]),
+            WpnCluster(1, [
+                record_from("a.com", "x.xyz", "w2"),
+                record_from("b.com", "x.xyz", "w3"),
+            ]),
+        ]
+        assert len(singleton_clusters(clusters)) == 1
+        assert len(ad_campaign_clusters(clusters)) == 1
+        assert clusters[1].titles() == ["t", "t"]

@@ -1,0 +1,47 @@
+"""Tests for corpus description statistics."""
+
+import pytest
+
+from repro.core.describe import describe_corpus
+from tests.core.test_records_features import make_record
+
+
+class TestDescribeCorpus:
+    def test_real_corpus(self, small_dataset):
+        description = describe_corpus(small_dataset.records)
+        assert description.total == len(small_dataset.records)
+        assert description.valid == len(small_dataset.valid_records)
+        assert set(description.by_platform) == {"desktop", "mobile"}
+        # Paper shape: desktop click validity far above mobile.
+        assert (
+            description.valid_rate_by_platform["desktop"]
+            > description.valid_rate_by_platform["mobile"]
+        )
+        assert description.by_network
+        assert description.by_category
+        assert description.redirect_hops["max"] >= 1
+
+    def test_render_is_readable(self, small_dataset):
+        text = describe_corpus(small_dataset.records).render()
+        assert "WPNs:" in text
+        assert "platforms:" in text
+        assert len(text.splitlines()) >= 6
+
+    def test_empty_corpus(self):
+        description = describe_corpus([])
+        assert description.total == 0
+        assert description.messages_per_source["max"] == 0.0
+        description.render()  # must not crash
+
+    def test_counts_by_hand(self):
+        records = [
+            make_record(wpn_id="a"),
+            make_record(wpn_id="b", source_url="https://www.other.com/"),
+            make_record(wpn_id="c", valid=False, landing_url=None,
+                        redirect_hops=(), visual_hash=None,
+                        landing_ip=None, landing_registrant=None),
+        ]
+        description = describe_corpus(records)
+        assert description.total == 3 and description.valid == 2
+        assert description.messages_per_source["max"] == 2.0  # example.com twice
+        assert description.top_landing_tlds[0][0] == "xyz"

@@ -1,0 +1,191 @@
+"""Tests for the malicious-WPN detector (features, model, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import (
+    FEATURE_NAMES,
+    DetectionMetrics,
+    LogisticRegression,
+    MaliciousWpnDetector,
+    compute_metrics,
+    extract_detector_features,
+    feature_matrix,
+    rank_auc,
+    train_test_split,
+)
+from tests.core.test_records_features import make_record
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self):
+        features = extract_detector_features(make_record())
+        assert len(features) == len(FEATURE_NAMES)
+        assert all(isinstance(v, float) for v in features)
+
+    def test_scam_keywords_counted(self):
+        record = make_record(title="Congratulations! You won a prize",
+                             body="claim your free reward")
+        features = dict(zip(FEATURE_NAMES, extract_detector_features(record)))
+        assert features["scam_keyword_hits"] >= 4
+
+    def test_shady_tld_flag(self):
+        shady = make_record()  # lands on win-prize.xyz
+        clean = make_record(landing_url="https://shop.example.com/deals/page")
+        f_shady = dict(zip(FEATURE_NAMES, extract_detector_features(shady)))
+        f_clean = dict(zip(FEATURE_NAMES, extract_detector_features(clean)))
+        assert f_shady["landing_tld_shady"] == 1.0
+        assert f_clean["landing_tld_shady"] == 0.0
+
+    def test_count_marker(self):
+        record = make_record(title="(3) Missed calls")
+        features = dict(zip(FEATURE_NAMES, extract_detector_features(record)))
+        assert features["title_has_count_marker"] == 1.0
+
+    def test_cross_origin_flag(self):
+        same = make_record(
+            source_url="https://www.example.com/",
+            landing_url="https://news.example.com/story/1",
+        )
+        features = dict(zip(FEATURE_NAMES, extract_detector_features(same)))
+        assert features["crossed_origin"] == 0.0
+
+    def test_invalid_record_rejected(self):
+        record = make_record(valid=False, landing_url=None, redirect_hops=(),
+                             visual_hash=None, landing_ip=None,
+                             landing_registrant=None)
+        with pytest.raises(ValueError):
+            extract_detector_features(record)
+
+    def test_matrix_shape(self):
+        records = [make_record(), make_record(wpn_id="w2")]
+        assert feature_matrix(records).shape == (2, len(FEATURE_NAMES))
+
+
+class TestLogisticRegression:
+    def separable_data(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(float)
+        return X, y
+
+    def test_learns_separable_problem(self):
+        X, y = self.separable_data()
+        model = LogisticRegression(iterations=500).fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_bounded(self):
+        X, y = self.separable_data()
+        model = LogisticRegression().fit(X, y)
+        probs = model.predict_proba(X)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 3)))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((2, 2)), np.array([0.0, 2.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(50), np.linspace(-1, 1, 50)])
+        y = (X[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(X, y)
+        assert np.isfinite(model.predict_proba(X)).all()
+
+    def test_regularization_shrinks_weights(self):
+        X, y = self.separable_data()
+        loose = LogisticRegression(l2=0.0).fit(X, y)
+        tight = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegression(iterations=0)
+
+
+class TestMetrics:
+    def test_perfect_classifier(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        labels = np.array([1, 1, 0, 0])
+        metrics = compute_metrics(scores, scores >= 0.5, labels)
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+        assert metrics.auc == 1.0
+
+    def test_inverted_classifier(self):
+        scores = np.array([0.1, 0.2, 0.9, 0.8])
+        labels = np.array([1, 1, 0, 0])
+        assert rank_auc(scores, labels) == 0.0
+
+    def test_auc_with_ties(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([1, 0, 1, 0])
+        assert rank_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_auc_degenerate_classes(self):
+        assert rank_auc(np.array([0.1, 0.9]), np.array([1, 1])) == 0.5
+
+    def test_zero_division_guards(self):
+        metrics = DetectionMetrics(tp=0, fp=0, tn=5, fn=0, auc=0.5)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+        assert metrics.accuracy == 1.0
+
+
+class TestSplit:
+    def test_deterministic_and_disjoint(self, small_dataset):
+        records = small_dataset.valid_records
+        a_train, a_test = train_test_split(records, 0.3, seed=1)
+        b_train, b_test = train_test_split(records, 0.3, seed=1)
+        assert [r.wpn_id for r in a_test] == [r.wpn_id for r in b_test]
+        assert len(a_train) + len(a_test) == len(records)
+        assert not ({r.wpn_id for r in a_train} & {r.wpn_id for r in a_test})
+
+    def test_fraction_respected(self, small_dataset):
+        records = small_dataset.valid_records
+        _, test = train_test_split(records, 0.3, seed=2)
+        assert abs(len(test) / len(records) - 0.3) < 0.1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([], 1.5)
+
+
+class TestEndToEndDetector:
+    def test_beats_chance_on_held_out_truth(self, small_dataset, small_result):
+        malicious = (
+            small_result.labeling.confirmed_malicious_ids
+            | small_result.suspicion.confirmed_malicious_ids
+        )
+        train, test = train_test_split(small_result.records, 0.3, seed=0)
+        detector = MaliciousWpnDetector().fit(train, malicious)
+        metrics = detector.evaluate(test)
+        assert metrics.auc > 0.85
+        assert metrics.f1 > 0.6
+
+    def test_feature_weights_exposed(self, small_result):
+        malicious = small_result.labeling.confirmed_malicious_ids
+        detector = MaliciousWpnDetector().fit(small_result.records, malicious)
+        weights = detector.feature_weights()
+        assert set(weights) == set(FEATURE_NAMES)
+        # At least one of the scam-content indicators must push toward
+        # malicious (individual signs are unstable under collinearity).
+        scam_indicators = (
+            weights["scam_keyword_hits"],
+            weights["page_pressure_elements"],
+            weights["page_credential_or_payment_form"],
+        )
+        assert max(scam_indicators) > 0
+
+    def test_unfitted_weights_raise(self):
+        with pytest.raises(RuntimeError):
+            MaliciousWpnDetector().feature_weights()

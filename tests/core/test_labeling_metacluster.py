@@ -1,0 +1,163 @@
+"""Tests for blocklist labeling, propagation, and meta-clustering."""
+
+import pytest
+
+from repro.blocklists.base import UrlTruth
+from repro.blocklists.gsb import GoogleSafeBrowsingModel
+from repro.blocklists.virustotal import VirusTotalModel
+from repro.core.campaigns import WpnCluster
+from repro.core.labeling import label_malicious_clusters
+from repro.core.metacluster import build_meta_clusters, meta_of_cluster
+from repro.core.verification import ManualVerificationOracle
+from tests.core.test_records_features import make_record
+
+
+def mal_record(wpn_id, source, landing_domain, path="/of1a/survey/start.php?sid=1"):
+    return make_record(
+        wpn_id=wpn_id,
+        source_url=f"https://www.{source}/",
+        landing_url=f"https://{landing_domain}{path}",
+    )
+
+
+def benign_record(wpn_id, source, landing_domain):
+    from repro.core.records import WpnTruth
+
+    return make_record(
+        wpn_id=wpn_id,
+        source_url=f"https://www.{source}/",
+        landing_url=f"https://{landing_domain}/deals/flash.html?cmp=1",
+        title="Flash sale",
+        body="Save 50% at SuperMart",
+        truth=WpnTruth(
+            kind="ad", family_name="shopping_deal", category="shopping deal",
+            campaign_id="cmp00002", operation_id=None,
+            malicious=False, is_one_off=False,
+        ),
+    )
+
+
+def scanners(records, vt_rate=1.0, gsb_rate=0.0, seed=1):
+    truth = UrlTruth.from_records(records)
+    vt = VirusTotalModel(truth, seed=seed, early_rate=0.0, late_rate=vt_rate,
+                         fp_rate=0.0)
+    gsb = GoogleSafeBrowsingModel(truth, seed=seed, coverage=gsb_rate)
+    return vt, gsb
+
+
+class TestLabeling:
+    def test_flagged_urls_become_known_malicious(self):
+        records = [mal_record("w1", "a.com", "evil.xyz"),
+                   mal_record("w2", "b.com", "evil2.xyz")]
+        clusters = [WpnCluster(0, records)]
+        vt, gsb = scanners(records)
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        result = label_malicious_clusters(clusters, vt, gsb, oracle)
+        assert result.known_malicious_ids == {"w1", "w2"}
+        assert result.malicious_cluster_ids == {0}
+
+    def test_guilt_by_association_propagates(self):
+        flagged = mal_record("w1", "a.com", "evil.xyz")
+        sibling = mal_record("w2", "b.com", "rotated-domain.club")
+        clusters = [WpnCluster(0, [flagged, sibling])]
+        truth = UrlTruth({flagged.landing_url: True, sibling.landing_url: True})
+        vt = VirusTotalModel(truth, seed=1, early_rate=0.0, late_rate=1.0)
+        # Make VT flag only the first URL.
+        vt_restricted = VirusTotalModel(
+            UrlTruth({flagged.landing_url: True}), seed=1,
+            early_rate=0.0, late_rate=1.0, fp_rate=0.0,
+        )
+        gsb = GoogleSafeBrowsingModel(UrlTruth({}), seed=1, coverage=0.0)
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        result = label_malicious_clusters(clusters, vt_restricted, gsb, oracle)
+        assert "w1" in result.known_malicious_ids
+        assert "w2" in result.propagated_confirmed_ids
+        assert result.confirmed_malicious_ids == {"w1", "w2"}
+
+    def test_benign_cluster_untouched(self):
+        records = [benign_record("w1", "a.com", "shop.com"),
+                   benign_record("w2", "b.com", "shop.com")]
+        clusters = [WpnCluster(0, records)]
+        vt, gsb = scanners(records)
+        oracle = ManualVerificationOracle()
+        result = label_malicious_clusters(clusters, vt, gsb, oracle)
+        assert not result.known_malicious_ids
+        assert not result.malicious_cluster_ids
+
+    def test_blocklist_fp_filtered_by_oracle(self):
+        # A benign record whose URL VT wrongly flags: the manual pass drops it.
+        record = benign_record("w1", "a.com", "kbb-like-benign.com")
+        clusters = [WpnCluster(0, [record, benign_record("w2", "b.com", "other.com")])]
+        fp_truth = UrlTruth({record.landing_url: True})  # VT "knows" wrongly
+        vt = VirusTotalModel(fp_truth, seed=1, early_rate=0.0, late_rate=1.0)
+        gsb = GoogleSafeBrowsingModel(UrlTruth({}), seed=1, coverage=0.0)
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        result = label_malicious_clusters(clusters, vt, gsb, oracle)
+        assert "w1" in result.flagged_candidate_ids
+        assert "w1" in result.blocklist_fp_ids
+        assert not result.known_malicious_ids
+        assert not result.malicious_cluster_ids
+
+    def test_gsb_alone_suffices(self):
+        records = [mal_record("w1", "a.com", "evil.xyz")]
+        clusters = [WpnCluster(0, records)]
+        truth = UrlTruth.from_records(records)
+        vt = VirusTotalModel(truth, seed=1, early_rate=0.0, late_rate=0.0,
+                             fp_rate=0.0)
+        gsb = GoogleSafeBrowsingModel(truth, seed=1, coverage=1.0)
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        result = label_malicious_clusters(clusters, vt, gsb, oracle)
+        assert result.known_malicious_ids == {"w1"}
+
+
+class TestMetaClustering:
+    def clusters(self):
+        # c0 and c1 share evil.xyz; c2 is isolated on its own domain.
+        c0 = WpnCluster(0, [mal_record("w1", "a.com", "evil.xyz")])
+        c1 = WpnCluster(1, [
+            mal_record("w2", "b.com", "evil.xyz"),
+            mal_record("w3", "c.com", "other.club"),
+        ])
+        c2 = WpnCluster(2, [benign_record("w4", "d.com", "lonely.com")])
+        return [c0, c1, c2]
+
+    def test_shared_domain_merges(self):
+        metas = build_meta_clusters(self.clusters())
+        assert len(metas) == 2
+        sizes = sorted(len(m.clusters) for m in metas)
+        assert sizes == [1, 2]
+
+    def test_domains_collected(self):
+        metas = build_meta_clusters(self.clusters())
+        big = max(metas, key=lambda m: len(m.clusters))
+        assert big.domains == {"evil.xyz", "other.club"}
+
+    def test_meta_of_cluster_index(self):
+        metas = build_meta_clusters(self.clusters())
+        index = meta_of_cluster(metas)
+        assert index[0] is index[1]
+        assert index[2] is not index[0]
+
+    def test_records_and_ids(self):
+        metas = build_meta_clusters(self.clusters())
+        big = max(metas, key=lambda m: len(m.clusters))
+        assert big.wpn_ids == {"w1", "w2", "w3"}
+        assert len(big.records) == 3
+        assert (1, "evil.xyz") in big.edges()
+
+    def test_deterministic_meta_ids(self):
+        a = build_meta_clusters(self.clusters())
+        b = build_meta_clusters(self.clusters())
+        assert [m.cluster_ids for m in a] == [m.cluster_ids for m in b]
+
+    def test_transitive_merge(self):
+        # c0-dA-c1, c1-dB-c2: one component of three clusters.
+        c0 = WpnCluster(0, [mal_record("w1", "a.com", "dom-a.xyz")])
+        c1 = WpnCluster(1, [
+            mal_record("w2", "b.com", "dom-a.xyz"),
+            mal_record("w3", "b2.com", "dom-b.xyz"),
+        ])
+        c2 = WpnCluster(2, [mal_record("w4", "c.com", "dom-b.xyz")])
+        metas = build_meta_clusters([c0, c1, c2])
+        assert len(metas) == 1
+        assert metas[0].cluster_ids == {0, 1, 2}

@@ -1,0 +1,193 @@
+"""Tests for the end-to-end pipeline and the report builders."""
+
+import pytest
+
+from repro.core import report
+from repro.core.pipeline import PushAdMiner
+
+
+class TestPipeline:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PushAdMiner().run([])
+
+    def test_invalid_records_dropped(self, small_dataset, small_result):
+        assert len(small_result.records) == len(small_dataset.valid_records)
+
+    def test_every_record_in_exactly_one_cluster(self, small_result):
+        counted = sum(len(c) for c in small_result.clusters)
+        assert counted == len(small_result.records)
+        ids = [r.wpn_id for c in small_result.clusters for r in c.records]
+        assert len(ids) == len(set(ids))
+
+    def test_every_cluster_in_exactly_one_meta(self, small_result):
+        cluster_ids = [cid for m in small_result.metas for cid in m.cluster_ids]
+        assert sorted(cluster_ids) == sorted(
+            c.cluster_id for c in small_result.clusters
+        )
+
+    def test_campaign_ids_are_multi_source(self, small_result):
+        by_id = {c.cluster_id: c for c in small_result.clusters}
+        for cid in small_result.campaign_cluster_ids:
+            assert len(by_id[cid].source_etld1s) > 1
+
+    def test_ad_sets_nested(self, small_result):
+        assert small_result.campaign_ad_ids <= small_result.all_ad_ids
+        assert small_result.malicious_ad_ids <= small_result.all_ad_ids
+
+    def test_stage_rows_consistent(self, small_result):
+        row1, row2, total = small_result.stage_rows()
+        assert total.n_wpn_ads == row1.n_wpn_ads + row2.n_wpn_ads
+        assert total.n_wpn_ads == len(small_result.all_ad_ids)
+        assert row1.n_ad_related == len(small_result.campaign_cluster_ids)
+        assert row2.n_clusters == len(small_result.metas)
+
+    def test_summary_fields(self, small_result):
+        summary = small_result.summary()
+        assert summary["wpn_ads"] >= summary["malicious_ads"]
+        assert 0 <= summary["malicious_ad_pct"] <= 100
+        assert summary["singleton_clusters"] <= summary["wpn_clusters"]
+
+    def test_labeling_quality_against_truth(self, small_result):
+        # The confirmed-malicious set should be dominated by truly
+        # malicious records (the oracle curbs blocklist false positives).
+        truth = {r.wpn_id: r.truth.malicious for r in small_result.records}
+        confirmed = (
+            small_result.labeling.confirmed_malicious_ids
+            | small_result.suspicion.confirmed_malicious_ids
+        )
+        if confirmed:
+            precision = sum(truth[i] for i in confirmed) / len(confirmed)
+            assert precision > 0.95
+
+    def test_malicious_recall_reasonable(self, small_result):
+        truly = {r.wpn_id for r in small_result.records if r.truth.malicious}
+        found = small_result.malicious_ad_ids
+        assert len(found & truly) / len(truly) > 0.5
+
+    def test_cut_is_conservative(self, small_result):
+        assert small_result.cut_threshold < 0.5
+        assert len(small_result.clusters) >= 0.33 * len(small_result.records)
+
+    def test_for_dataset_uses_scenario_rates(self, small_dataset):
+        miner = PushAdMiner.for_dataset(small_dataset)
+        assert miner.vt_late_rate == small_dataset.config.vt_late_rate
+        assert miner.gsb_rate == small_dataset.config.gsb_rate
+
+    def test_fixed_threshold_override(self, small_dataset):
+        miner = PushAdMiner.for_dataset(small_dataset, cut_threshold=0.01)
+        result = miner.run(small_dataset.valid_records[:200])
+        assert result.cut_threshold == 0.01
+
+
+class TestReport:
+    def test_render_table(self):
+        text = report.render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+
+    def test_table1(self, small_dataset):
+        rows = report.table1_rows(small_dataset.discovery)
+        assert rows[-1][0] == "Total"
+        assert rows[-1][1] == sum(r[1] for r in rows[:-1])
+
+    def test_table2(self, small_dataset):
+        rows = report.table2_rows(small_dataset)
+        total = sum(count for _, count in rows)
+        assert total == small_dataset.npr_domain_count()
+
+    def test_table3(self, small_dataset, small_result):
+        summary = report.table3_summary(small_dataset, small_result)
+        assert summary["valid_wpns"] == len(small_dataset.valid_records)
+        assert summary["malicious_ads"] <= summary["wpn_ads"]
+
+    def test_table4(self, small_result):
+        rows = report.table4_rows(small_result)
+        assert len(rows) == 3
+        assert rows[2][0] == "Total"
+
+    def test_table5(self, small_result):
+        rows = report.table5_singletons(small_result, sample=5)
+        assert len(rows) <= 5
+        for title, domain, verdict in rows:
+            assert verdict in ("simple alert", "spurious suspicious ad")
+
+    def test_fig4_examples(self, small_result):
+        examples = report.fig4_cluster_examples(small_result)
+        labels = [e.label for e in examples]
+        assert "WPN-C1" in labels and "WPN-C4" in labels
+        c1 = next(e for e in examples if e.label == "WPN-C1")
+        assert len(c1.cluster.source_etld1s) > 1
+        c4 = next(e for e in examples if e.label == "WPN-C4")
+        assert c4.cluster.is_singleton
+
+    def test_fig5_graphs_bipartite(self, small_result):
+        graphs = report.fig5_meta_graphs(small_result, top=2)
+        assert graphs
+        for graph in graphs:
+            for a, b in graph.edges():
+                kinds = {graph.nodes[a]["bipartite"], graph.nodes[b]["bipartite"]}
+                assert kinds == {"cluster", "domain"}
+
+    def test_fig6_totals(self, small_result):
+        rows = report.fig6_network_distribution(small_result)
+        assert sum(r[1] for r in rows) == len(small_result.all_ad_ids)
+        for _, ads, malicious in rows:
+            assert malicious <= ads
+
+    def test_fig6_abuse_shape(self, small_result):
+        rows = dict(
+            (name, (ads, mal))
+            for name, ads, mal in report.fig6_network_distribution(small_result)
+        )
+        if "Ad-Maven" in rows and "OneSignal" in rows:
+            admaven_ads, admaven_mal = rows["Ad-Maven"]
+            onesignal_ads, onesignal_mal = rows["OneSignal"]
+            assert admaven_mal / max(admaven_ads, 1) > onesignal_mal / max(
+                onesignal_ads, 1
+            )
+
+    def test_cost_report(self, small_result):
+        cost = report.advertiser_cost_report(small_result)
+        assert cost.max_cost_usd >= cost.mean_cost_usd >= 0.0
+        assert cost.cpm_usd == report.STANDARD_CPM_USD
+
+    def test_latency_report(self, small_dataset):
+        data = report.latency_report(small_dataset.first_latencies_min)
+        assert data["within_window_pct"] > 90.0
+        assert data["cdf_minutes"][1440.0] >= data["cdf_minutes"][15.0]
+
+    def test_latency_report_empty(self):
+        assert report.latency_report([])["sites"] == 0
+
+
+class TestReportEdgeCases:
+    def test_fig5_empty_when_nothing_suspicious(self, small_result):
+        from repro.core.labeling import LabelingResult
+        from repro.core.report import fig5_meta_graphs
+        from repro.core.pipeline import PipelineResult
+        import copy
+
+        clean = copy.copy(small_result)
+        clean.suspicion = copy.copy(small_result.suspicion)
+        clean.suspicion.suspicious_meta_ids = set()
+        assert fig5_meta_graphs(clean, top=2) == []
+
+    def test_table5_sample_larger_than_residuals(self, small_result):
+        from repro.core.report import table5_singletons
+
+        rows = table5_singletons(small_result, sample=10_000)
+        assert len(rows) == len(small_result.residual_singleton_clusters)
+
+    def test_cost_report_empty_when_all_malicious(self):
+        from repro.core.report import CostReport
+
+        report = CostReport(per_domain_visits={})
+        assert report.max_cost_usd == 0.0
+        assert report.mean_cost_usd == 0.0
+
+    def test_ads_are_subset_of_records(self, small_result):
+        record_ids = {r.wpn_id for r in small_result.records}
+        assert small_result.all_ad_ids <= record_ids
+        assert small_result.malicious_ad_ids <= record_ids

@@ -1,0 +1,101 @@
+"""Validate the vectorized analysis kernels against naive references.
+
+The production code computes silhouettes with one matrix product and soft
+cosine through the ``S = E E'`` document-embedding reduction; these tests
+recompute both the slow, obviously-correct way and demand agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.silhouette import silhouette_samples
+from repro.core.textsim import SoftCosineModel
+
+
+def naive_silhouette(distances: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Textbook per-point silhouette, straight from the definition."""
+    n = distances.shape[0]
+    out = np.zeros(n)
+    for i in range(n):
+        own = [j for j in range(n) if labels[j] == labels[i] and j != i]
+        if not own:
+            out[i] = 0.0
+            continue
+        a = np.mean([distances[i, j] for j in own])
+        b = min(
+            np.mean([distances[i, j] for j in range(n) if labels[j] == other])
+            for other in set(labels.tolist())
+            if other != labels[i]
+        )
+        out[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return out
+
+
+def naive_soft_cosine(bow_a, bow_b, similarity):
+    """softcossim straight from the paper's definition: a'Sb / norms."""
+    num = bow_a @ similarity @ bow_b
+    da = np.sqrt(bow_a @ similarity @ bow_a)
+    db = np.sqrt(bow_b @ similarity @ bow_b)
+    if da == 0 or db == 0:
+        return 0.0
+    return num / (da * db)
+
+
+class TestSilhouetteAgainstNaive:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 16))
+        m = rng.random((n, n))
+        m = (m + m.T) / 2
+        np.fill_diagonal(m, 0.0)
+        labels = rng.integers(0, max(2, n // 3), size=n)
+        if len(set(labels.tolist())) < 2:
+            labels[0] = labels.max() + 1
+        fast = silhouette_samples(m, labels)
+        slow = naive_silhouette(m, labels)
+        assert np.allclose(fast, slow, atol=1e-9)
+
+
+class TestSoftCosineReduction:
+    def test_doc_embedding_shortcut_equals_bilinear_form(self):
+        """With S = E E^T, cosine of summed embeddings == soft cosine."""
+        corpus = [
+            ["win", "prize", "claim"],
+            ["win", "prize", "now"],
+            ["weather", "storm", "alert"],
+            ["storm", "alert", "prize"],
+            ["claim", "claim", "prize"],  # repeated token -> count 2
+        ]
+        model = SoftCosineModel(dimensions=8, blend=0.0).fit(corpus)
+        vocabulary = model.vocabulary
+        E = model.embeddings
+        S = E @ E.T
+
+        def bow(tokens):
+            v = np.zeros(len(vocabulary))
+            for t in tokens:
+                if t in vocabulary:
+                    v[vocabulary[t]] += 1
+            return v
+
+        fast = model.similarity_matrix(corpus)
+        for i in range(len(corpus)):
+            for j in range(len(corpus)):
+                expected = naive_soft_cosine(bow(corpus[i]), bow(corpus[j]), S)
+                assert fast[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_blend_is_convex_combination(self):
+        corpus = [["a", "b"], ["b", "c"], ["c", "d", "a"]]
+        exact = SoftCosineModel(dimensions=4, blend=1.0).fit(corpus)
+        soft = SoftCosineModel(dimensions=4, blend=0.0).fit(corpus)
+        half = SoftCosineModel(dimensions=4, blend=0.5).fit(corpus)
+        se = exact.similarity_matrix(corpus)
+        ss = soft.similarity_matrix(corpus)
+        sh = half.similarity_matrix(corpus)
+        # Off-diagonal entries (diagonal is pinned to 1).
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    blended = np.clip(0.5 * se[i, j] + 0.5 * ss[i, j], 0, 1)
+                    assert sh[i, j] == pytest.approx(blended, abs=1e-9)

@@ -1,0 +1,163 @@
+"""Tests for suspicious-ad discovery and the manual-verification oracle."""
+
+import pytest
+
+from repro.core.campaigns import WpnCluster
+from repro.core.labeling import LabelingResult
+from repro.core.metacluster import build_meta_clusters
+from repro.core.records import WpnTruth
+from repro.core.suspicious import cluster_has_duplicate_ads, find_suspicious
+from repro.core.verification import ManualVerificationOracle
+from tests.core.test_records_features import make_record
+from tests.core.test_labeling_metacluster import benign_record, mal_record
+
+
+def campaign_cluster(cluster_id, landing_domains, n_sources=2, prefix="w"):
+    records = []
+    for i, domain in enumerate(landing_domains * n_sources):
+        records.append(
+            mal_record(f"{prefix}{cluster_id}_{i}", f"s{i % n_sources}.com", domain)
+        )
+    return WpnCluster(cluster_id, records)
+
+
+class TestDuplicateAds:
+    def test_multi_domain_campaign_flagged(self):
+        cluster = campaign_cluster(0, ["a.xyz", "b.club"])
+        assert cluster_has_duplicate_ads(cluster)
+
+    def test_single_domain_campaign_not_flagged(self):
+        cluster = campaign_cluster(0, ["a.xyz"])
+        assert not cluster_has_duplicate_ads(cluster)
+
+    def test_non_campaign_never_flagged(self):
+        cluster = WpnCluster(0, [
+            mal_record("w1", "same.com", "a.xyz"),
+            mal_record("w2", "same.com", "b.club"),
+        ])
+        assert not cluster_has_duplicate_ads(cluster)
+
+
+class TestFindSuspicious:
+    def test_ad_propagation_through_meta(self):
+        campaign = campaign_cluster(0, ["shared.xyz"])
+        one_off = WpnCluster(1, [mal_record("solo", "z.com", "shared.xyz")])
+        metas = build_meta_clusters([campaign, one_off])
+        labeling = LabelingResult()
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        result = find_suspicious(metas, labeling, oracle)
+        assert "solo" in result.additional_ad_ids
+        assert result.ad_related_meta_ids
+
+    def test_known_malicious_taints_component(self):
+        campaign = campaign_cluster(0, ["shared.xyz"])
+        sibling = WpnCluster(1, [mal_record("sib", "z.com", "shared.xyz")])
+        metas = build_meta_clusters([campaign, sibling])
+        labeling = LabelingResult(
+            known_malicious_ids={campaign.records[0].wpn_id},
+            malicious_cluster_ids={0},
+        )
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        result = find_suspicious(metas, labeling, oracle)
+        assert metas[0].meta_id in result.suspicious_meta_ids
+        assert "sib" in result.suspicious_wpn_ids
+        assert "sib" in result.confirmed_malicious_ids
+
+    def test_duplicate_ads_alone_makes_suspicious(self):
+        campaign = campaign_cluster(0, ["a.xyz", "b.club"])
+        metas = build_meta_clusters([campaign])
+        result = find_suspicious(metas, LabelingResult(),
+                                 ManualVerificationOracle(unconfirmable_rate=0.0))
+        assert result.suspicious_meta_ids
+        assert campaign.cluster_id in result.duplicate_ad_campaign_cluster_ids
+
+    def test_benign_duplicate_ads_not_confirmed(self):
+        # Job boards rotate domains but aren't malicious; the analyst
+        # declines to confirm them.
+        records = [benign_record("j1", "a.com", "jobs-a.com"),
+                   benign_record("j2", "b.com", "jobs-b.com")]
+        cluster = WpnCluster(0, records)
+        metas = build_meta_clusters([cluster])
+        result = find_suspicious(metas, LabelingResult(),
+                                 ManualVerificationOracle(unconfirmable_rate=0.0))
+        assert result.suspicious_wpn_ids == {"j1", "j2"}
+        assert result.confirmed_malicious_ids == set()
+        assert result.unconfirmed_ids == {"j1", "j2"}
+
+    def test_clean_single_domain_component_untouched(self):
+        cluster = campaign_cluster(0, ["only.xyz"])
+        metas = build_meta_clusters([cluster])
+        result = find_suspicious(metas, LabelingResult(),
+                                 ManualVerificationOracle(unconfirmable_rate=0.0))
+        assert not result.suspicious_meta_ids
+        assert not result.suspicious_wpn_ids
+
+    def test_already_labeled_not_relabeled(self):
+        campaign = campaign_cluster(0, ["a.xyz", "b.club"])
+        known = campaign.records[0].wpn_id
+        labeling = LabelingResult(
+            known_malicious_ids={known},
+            malicious_cluster_ids={0},
+            propagated_confirmed_ids={r.wpn_id for r in campaign.records[1:]},
+        )
+        metas = build_meta_clusters([campaign])
+        result = find_suspicious(metas, labeling,
+                                 ManualVerificationOracle(unconfirmable_rate=0.0))
+        assert not result.suspicious_wpn_ids
+
+
+class TestOracle:
+    def test_benign_never_confirmed(self):
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        assert not oracle.confirm_malicious(benign_record("b1", "a.com", "x.com"))
+
+    def test_malicious_confirmed(self):
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        assert oracle.confirm_malicious(mal_record("m1", "a.com", "evil.xyz"))
+
+    def test_unconfirmable_slice(self):
+        # Malicious pages with *neutral* text and no known artifacts can be
+        # inconclusive at inspection time (the paper's welcome-page cases);
+        # anything matching a factor is always confirmable.
+        strict = ManualVerificationOracle(seed=5, unconfirmable_rate=0.5)
+        records = [
+            make_record(
+                wpn_id=f"m{i}",
+                title="Thanks for subscribing",
+                body=f"Stay tuned for updates picked for you, reader {i}.",
+                landing_url=f"https://evil{i}.xyz/subscribe/welcome.html?ref=1",
+                visual_hash=f"vh{i}",
+                landing_ip=f"10.0.{i}.1",
+                landing_registrant=f"owner{i}@registrar.example",
+            )
+            for i in range(60)
+        ]
+        confirmed, unconfirmed = strict.confirm_many(records)
+        assert unconfirmed  # some genuinely inconclusive pages
+        assert confirmed
+
+    def test_factors_accumulate_knowledge(self):
+        oracle = ManualVerificationOracle(unconfirmable_rate=0.0)
+        first = mal_record("m1", "a.com", "evil.xyz")
+        oracle.confirm_malicious(first)
+        lookalike = mal_record("m2", "b.com", "evil2.club")
+        factors = oracle.matched_factors(lookalike)
+        # same campaign visual hash + same message text + shared registrant
+        assert "visually-similar-landing" in factors
+        assert "same-message-different-landing" in factors
+        assert "shared-infrastructure" in factors
+
+    def test_scam_keywords_factor(self):
+        oracle = ManualVerificationOracle()
+        record = mal_record("m1", "a.com", "evil.xyz")
+        assert "likely-malicious-content" in oracle.matched_factors(record)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ManualVerificationOracle(unconfirmable_rate=2.0)
+
+    def test_inspection_counter(self):
+        oracle = ManualVerificationOracle()
+        oracle.confirm_many([mal_record("m1", "a.com", "e.xyz"),
+                             benign_record("b1", "a.com", "x.com")])
+        assert oracle.inspections == 2

@@ -1,0 +1,107 @@
+"""Tests for the soft cosine text similarity model."""
+
+import numpy as np
+import pytest
+
+from repro.core.textsim import SoftCosineModel
+
+CORPUS = [
+    ["win", "free", "prize", "claim", "now"],
+    ["win", "free", "prize", "claim", "now"],
+    ["claim", "your", "prize", "today"],
+    ["breaking", "news", "from", "atlanta"],
+    ["weather", "alert", "storm", "warning"],
+    ["storm", "warning", "for", "atlanta"],
+    ["install", "app", "free", "premium"],
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SoftCosineModel(dimensions=8).fit(CORPUS)
+
+
+class TestFit:
+    def test_vocabulary_built(self, model):
+        assert "prize" in model.vocabulary
+        assert model.embeddings.shape[0] == len(model.vocabulary)
+
+    def test_embeddings_unit_norm(self, model):
+        norms = np.linalg.norm(model.embeddings, axis=1)
+        nonzero = norms[norms > 0]
+        assert np.allclose(nonzero, 1.0, atol=1e-9)
+
+    def test_min_count_filters(self):
+        model = SoftCosineModel(dimensions=4, min_count=2).fit(CORPUS)
+        assert "install" not in model.vocabulary  # appears once
+        assert "prize" in model.vocabulary
+
+    def test_empty_corpus(self):
+        model = SoftCosineModel().fit([])
+        assert model.vocabulary == {}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SoftCosineModel(blend=1.5)
+        with pytest.raises(ValueError):
+            SoftCosineModel(dimensions=1)
+
+
+class TestSimilarity:
+    def test_identical_docs_similarity_one(self, model):
+        sim = model.similarity_matrix(CORPUS)
+        assert sim[0, 1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_diagonal_is_one(self, model):
+        sim = model.similarity_matrix(CORPUS)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_range_and_symmetry(self, model):
+        sim = model.similarity_matrix(CORPUS)
+        assert sim.min() >= 0.0 and sim.max() <= 1.0
+        assert np.allclose(sim, sim.T)
+
+    def test_related_closer_than_unrelated(self, model):
+        sim = model.similarity_matrix(CORPUS)
+        # two prize messages vs prize-vs-weather
+        assert sim[0, 2] > sim[0, 4]
+
+    def test_soft_component_links_cooccurring_words(self):
+        # "storm"/"warning" co-occur with "atlanta" via doc 5: soft cosine
+        # gives docs 4 and 3 some similarity despite no shared tokens
+        # (after stopword-free tokens), while pure BoW cosine gives 0.
+        hard = SoftCosineModel(dimensions=8, blend=1.0).fit(CORPUS)
+        soft = SoftCosineModel(dimensions=8, blend=0.0).fit(CORPUS)
+        hard_sim = hard.similarity_matrix(CORPUS)
+        soft_sim = soft.similarity_matrix(CORPUS)
+        assert hard_sim[3, 4] == pytest.approx(0.0, abs=1e-9)
+        assert soft_sim[3, 4] > 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftCosineModel().similarity_matrix(CORPUS)
+
+    def test_oov_document(self, model):
+        sim = model.similarity_matrix([["zzz", "qqq"], ["win", "prize"]])
+        assert sim[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDistance:
+    def test_distance_complements_similarity(self, model):
+        sim = model.similarity_matrix(CORPUS)
+        dist = model.distance_matrix(CORPUS)
+        assert np.allclose(dist, 1.0 - (sim + sim.T) / 2, atol=1e-9)
+
+    def test_zero_diagonal(self, model):
+        assert np.allclose(np.diag(model.distance_matrix(CORPUS)), 0.0)
+
+    def test_identical_docs_distance_zero(self, model):
+        dist = model.distance_matrix(CORPUS)
+        assert dist[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_tiny_vocabulary(self):
+        corpus = [["a"], ["a", "b"]]
+        model = SoftCosineModel(dimensions=8).fit(corpus)
+        dist = model.distance_matrix(corpus)
+        assert dist.shape == (2, 2)
+        assert np.isfinite(dist).all()

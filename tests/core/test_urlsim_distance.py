@@ -1,0 +1,102 @@
+"""Tests for URL-path Jaccard distances and the combined distance."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import compute_distances
+from repro.core.textsim import SoftCosineModel
+from repro.core.urlsim import url_path_distance_matrix
+from tests.core.test_records_features import make_record
+
+
+class TestUrlPathDistance:
+    def test_identical_sets(self):
+        sets = [frozenset({"a", "b"}), frozenset({"a", "b"})]
+        dist = url_path_distance_matrix(sets)
+        assert dist[0, 1] == pytest.approx(0.0)
+
+    def test_disjoint_sets(self):
+        dist = url_path_distance_matrix([frozenset({"a"}), frozenset({"b"})])
+        assert dist[0, 1] == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        dist = url_path_distance_matrix(
+            [frozenset({"a", "b"}), frozenset({"b", "c"})]
+        )
+        assert dist[0, 1] == pytest.approx(2 / 3)
+
+    def test_empty_conventions(self):
+        dist = url_path_distance_matrix(
+            [frozenset(), frozenset(), frozenset({"a"})]
+        )
+        assert dist[0, 1] == pytest.approx(0.0)   # both empty
+        assert dist[0, 2] == pytest.approx(1.0)   # empty vs non-empty
+
+    def test_all_empty(self):
+        dist = url_path_distance_matrix([frozenset(), frozenset()])
+        assert np.allclose(dist, 0.0)
+
+    def test_matches_scalar_jaccard(self):
+        from repro.util.textproc import jaccard_distance
+
+        sets = [frozenset({"x", "y", "z"}), frozenset({"y", "q"}),
+                frozenset({"z"}), frozenset()]
+        dist = url_path_distance_matrix(sets)
+        for i in range(4):
+            for j in range(4):
+                assert dist[i, j] == pytest.approx(
+                    jaccard_distance(set(sets[i]), set(sets[j])), abs=1e-9
+                )
+
+    def test_symmetric_zero_diagonal(self):
+        sets = [frozenset({"a"}), frozenset({"a", "b"}), frozenset({"c"})]
+        dist = url_path_distance_matrix(sets)
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+
+class TestComputeDistances:
+    def records(self):
+        same_a = make_record()
+        same_b = make_record(wpn_id="wpn0000002",
+                             source_url="https://www.other.com/")
+        different = make_record(
+            wpn_id="wpn0000003",
+            title="Weather alert for Dallas",
+            body="A thunderstorm is expected near Dallas until 5 PM.",
+            landing_url="https://news-site.com/weather/alerts/1234/99",
+        )
+        return [same_a, same_b, different]
+
+    def test_total_is_mean_of_components(self):
+        matrices = compute_distances(self.records())
+        assert np.allclose(
+            matrices.total, (matrices.text + matrices.url) / 2.0, atol=1e-12
+        )
+
+    def test_identical_messages_distance_zero(self):
+        matrices = compute_distances(self.records())
+        assert matrices.total[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_unrelated_messages_far(self):
+        matrices = compute_distances(self.records())
+        assert matrices.total[0, 2] > 0.5
+
+    def test_size(self):
+        matrices = compute_distances(self.records())
+        assert matrices.size == 3
+
+    def test_accepts_prefit_model(self):
+        records = self.records()
+        model = SoftCosineModel().fit(
+            [["win", "free"], ["weather", "alert"]]
+        )
+        matrices = compute_distances(records, text_model=model)
+        assert matrices.total.shape == (3, 3)
+
+    def test_rejects_misaligned_features(self):
+        from repro.core.features import extract_all
+
+        records = self.records()
+        with pytest.raises(ValueError):
+            compute_distances(records, features=extract_all(records[:2]))

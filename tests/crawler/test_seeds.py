@@ -1,0 +1,42 @@
+"""Tests for crawler seeding (Table 1 mechanics)."""
+
+from repro.crawler.seeds import discover_seeds
+from repro.webenv.adnetworks import ALL_SEEDS
+
+
+class TestDiscoverSeeds:
+    def test_rows_cover_all_19_seeds(self, small_discovery):
+        assert len(small_discovery.rows) == len(ALL_SEEDS) == 19
+
+    def test_counts_match_generator(self, small_ecosystem, small_discovery):
+        config = small_ecosystem.config
+        for spec in ALL_SEEDS:
+            row = small_discovery.row(spec.name)
+            assert row.urls_found == config.scaled(spec.paper_urls)
+            assert row.npr_count == min(
+                row.urls_found, config.scaled(spec.paper_nprs)
+            )
+
+    def test_totals(self, small_discovery, small_ecosystem):
+        config = small_ecosystem.config
+        expected_urls = sum(config.scaled(s.paper_urls) for s in ALL_SEEDS)
+        assert small_discovery.total_urls == expected_urls
+        assert small_discovery.total_nprs <= small_discovery.total_urls
+
+    def test_npr_sites_all_prompt(self, small_discovery):
+        assert all(s.requests_permission for s in small_discovery.npr_sites())
+
+    def test_npr_domains_distinct_etld1(self, small_discovery):
+        domains = small_discovery.npr_domains()
+        assert len(domains) <= len(small_discovery.npr_sites())
+        assert all("www." not in d for d in domains)
+
+    def test_seed_sites_unique(self, small_discovery):
+        urls = [str(s.url) for s in small_discovery.seed_sites]
+        assert len(urls) == len(set(urls))
+
+    def test_unknown_row_raises(self, small_discovery):
+        import pytest
+
+        with pytest.raises(KeyError):
+            small_discovery.row("NotATable1Row")

@@ -1,0 +1,99 @@
+"""End-to-end integration: the whole measurement reproduces paper shapes."""
+
+import pytest
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+
+
+class TestPaperShapes:
+    """Each test asserts a *shape* from the paper, not an absolute count."""
+
+    def test_seeding_shape(self, small_dataset):
+        crawl = small_dataset.summary()
+        # Paper: 5,849 NPRs out of 87,622 seed URLs (6.7%).
+        npr_rate = crawl["npr_urls"] / crawl["seed_urls"]
+        assert 0.04 < npr_rate < 0.10
+
+    def test_clicks_discover_new_urls(self, small_dataset):
+        assert small_dataset.summary()["discovered_urls"] > 0
+
+    def test_valid_fraction(self, small_dataset):
+        crawl = small_dataset.summary()
+        # Paper: 12,262 of 21,541 collected WPNs had a valid landing (57%).
+        fraction = crawl["valid_wpns"] / crawl["collected_wpns"]
+        assert 0.4 < fraction < 0.75
+
+    def test_singleton_share(self, small_result):
+        summary = small_result.summary()
+        # Paper: 7,731 singletons of 8,780 clusters over 12,262 WPNs (63%).
+        share = summary["singleton_clusters"] / summary["wpns_clustered"]
+        assert 0.3 < share < 0.75
+
+    def test_ads_share(self, small_result):
+        summary = small_result.summary()
+        # Paper: 5,143 ads of 12,262 WPNs (42%).
+        share = summary["wpn_ads"] / summary["wpns_clustered"]
+        assert 0.30 < share < 0.60
+
+    def test_headline_malicious_share(self, small_result):
+        # The paper's headline: 51% of WPN ads are malicious.
+        assert 35.0 < small_result.summary()["malicious_ad_pct"] < 70.0
+
+    def test_meta_clustering_extends_ads(self, small_result):
+        row1, row2, _ = small_result.stage_rows()
+        # Paper: meta clustering grows the ad set from 3,213 to 5,143.
+        assert row2.n_wpn_ads > 0
+        assert row2.n_wpn_ads < row1.n_wpn_ads * 2
+
+    def test_blocklists_miss_most_malicious(self, small_result):
+        total_malicious = len(small_result.malicious_ad_ids)
+        known = small_result.stage_rows()[2].n_known_malicious
+        # Blocklists find only a fraction; the pipeline roughly doubles it.
+        assert known < total_malicious
+
+    def test_majority_campaigns_malicious(self, small_result):
+        summary = small_result.summary()
+        # Paper: 318 of 572 campaigns malicious (56%).
+        share = summary["malicious_campaigns"] / summary["ad_campaigns"]
+        assert 0.3 < share < 0.8
+
+
+class TestDeterminism:
+    def test_crawl_is_reproducible(self):
+        config = paper_scenario(seed=13, scale=0.015)
+        a = run_full_crawl(config=config)
+        b = run_full_crawl(config=config)
+        assert len(a.records) == len(b.records)
+        assert [r.title for r in a.records] == [r.title for r in b.records]
+        assert [r.landing_url for r in a.records] == [
+            r.landing_url for r in b.records
+        ]
+
+    def test_pipeline_is_reproducible(self):
+        config = paper_scenario(seed=13, scale=0.015)
+        dataset = run_full_crawl(config=config)
+        a = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+        b = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+        assert a.summary() == b.summary()
+        assert a.labels.tolist() == b.labels.tolist()
+
+    def test_different_seeds_differ(self):
+        a = run_full_crawl(config=paper_scenario(seed=1, scale=0.015))
+        b = run_full_crawl(config=paper_scenario(seed=2, scale=0.015))
+        assert [r.title for r in a.records] != [r.title for r in b.records]
+
+
+class TestScaling:
+    def test_counts_scale_with_population(self):
+        small = run_full_crawl(config=paper_scenario(seed=5, scale=0.01))
+        large = run_full_crawl(config=paper_scenario(seed=5, scale=0.04))
+        assert large.summary()["seed_urls"] > 3 * small.summary()["seed_urls"]
+        assert large.summary()["collected_wpns"] > small.summary()["collected_wpns"]
+
+    def test_rates_stable_across_scale(self):
+        small = run_full_crawl(config=paper_scenario(seed=5, scale=0.02))
+        large = run_full_crawl(config=paper_scenario(seed=5, scale=0.05))
+        def npr_rate(ds):
+            crawl = ds.summary()
+            return crawl["npr_urls"] / crawl["seed_urls"]
+        assert abs(npr_rate(small) - npr_rate(large)) < 0.02

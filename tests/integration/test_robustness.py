@@ -1,0 +1,104 @@
+"""Robustness: headline shapes hold across seeds, and rotation shows up
+end to end."""
+
+import pytest
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+
+
+@pytest.fixture(scope="module")
+def multi_seed_results():
+    results = []
+    for seed in (21, 22, 23):
+        dataset = run_full_crawl(config=paper_scenario(seed=seed, scale=0.03))
+        result = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+        results.append((dataset, result))
+    return results
+
+
+class TestSeedRobustness:
+    def test_malicious_share_band(self, multi_seed_results):
+        # The 51% headline should hold in a band across seeds, not be a
+        # single-seed coincidence.
+        shares = [r.summary()["malicious_ad_pct"] for _, r in multi_seed_results]
+        assert all(30.0 < s < 75.0 for s in shares), shares
+
+    def test_ads_fraction_band(self, multi_seed_results):
+        fractions = [
+            r.summary()["wpn_ads"] / r.summary()["wpns_clustered"]
+            for _, r in multi_seed_results
+        ]
+        assert all(0.25 < f < 0.65 for f in fractions), fractions
+
+    def test_campaigns_always_found(self, multi_seed_results):
+        for _, result in multi_seed_results:
+            summary = result.summary()
+            assert summary["ad_campaigns"] > 5
+            assert summary["malicious_campaigns"] > 0
+
+    def test_meta_clustering_always_compresses(self, multi_seed_results):
+        for _, result in multi_seed_results:
+            assert len(result.metas) < len(result.clusters)
+
+    def test_different_seeds_different_worlds(self, multi_seed_results):
+        titles = [
+            tuple(r.title for r in dataset.records[:20])
+            for dataset, _ in multi_seed_results
+        ]
+        assert len(set(titles)) == len(titles)
+
+
+class TestRotationEndToEnd:
+    def test_rotating_campaigns_rotate_in_the_crawl(self, small_dataset):
+        """Records of one rotating campaign drift across domains over time."""
+        ecosystem = small_dataset.ecosystem
+        rotating_ids = {
+            c.campaign_id
+            for c in ecosystem.campaigns
+            if c.rotation_period_min is not None
+        }
+        by_campaign = {}
+        for record in small_dataset.valid_records:
+            if record.truth.campaign_id in rotating_ids:
+                by_campaign.setdefault(record.truth.campaign_id, []).append(record)
+
+        # Among well-observed rotating campaigns, at least one exhibits a
+        # clear temporal domain shift (early-phase mode != late-phase mode).
+        shifted = 0
+        observed = 0
+        for campaign_id, records in by_campaign.items():
+            if len(records) < 8:
+                continue
+            observed += 1
+            records.sort(key=lambda r: r.sent_at_min)
+            half = len(records) // 2
+            early = [r.landing_etld1 for r in records[:half]]
+            late = [r.landing_etld1 for r in records[half:]]
+            mode = lambda xs: max(set(xs), key=xs.count)
+            if mode(early) != mode(late):
+                shifted += 1
+        if observed:
+            assert shifted > 0
+
+    def test_rotation_preserves_meta_structure(self, small_result):
+        """Rotated domains still reconnect through meta-clustering: every
+        rotating campaign's domains that appear in the data end up in one
+        meta component."""
+        from repro.core.metacluster import meta_of_cluster
+
+        index = meta_of_cluster(small_result.metas)
+        by_campaign = {}
+        for cluster in small_result.clusters:
+            for record in cluster.records:
+                cid = record.truth.campaign_id
+                if cid is not None:
+                    by_campaign.setdefault(cid, set()).add(
+                        index[cluster.cluster_id].meta_id
+                    )
+        multi_message = {
+            cid: metas for cid, metas in by_campaign.items() if len(metas) > 0
+        }
+        # The overwhelming majority of campaigns live in a single meta
+        # component despite domain rotation.
+        single = sum(1 for metas in multi_message.values() if len(metas) == 1)
+        assert single / len(multi_message) > 0.8

@@ -1,0 +1,117 @@
+"""Tests for the FCM-like push broker and subscriptions."""
+
+import pytest
+
+from repro.push.fcm import FcmService
+from repro.push.subscription import PushSubscription
+from repro.webenv.campaigns import MessageCreative
+
+
+def creative(title="t"):
+    return MessageCreative(
+        title=title, body="b", landing_domain="l.com", landing_path="/p",
+        landing_query="", campaign_id="cmp00001", family_name="survey_scam",
+        malicious=True,
+    )
+
+
+def subscribe(fcm, origin="https://a.com", network="Ad-Maven"):
+    return fcm.subscribe(
+        origin=origin,
+        source_url=f"{origin}/",
+        sw_script_url=f"{origin}/sw.js",
+        network_name=network,
+        platform="desktop",
+    )
+
+
+class TestSubscription:
+    def test_unique_endpoints_and_ids(self):
+        fcm = FcmService()
+        a, b = subscribe(fcm), subscribe(fcm, origin="https://b.com")
+        assert a.endpoint != b.endpoint
+        assert a.registration_id != b.registration_id
+
+    def test_requires_network_or_alert_family(self):
+        with pytest.raises(ValueError):
+            PushSubscription(
+                endpoint="e", registration_id="r", origin="https://a.com",
+                source_url="https://a.com/", sw_script_url="s",
+                network_name=None, platform="desktop",
+            )
+
+    def test_platform_validated(self):
+        with pytest.raises(ValueError):
+            PushSubscription(
+                endpoint="e", registration_id="r", origin="https://a.com",
+                source_url="https://a.com/", sw_script_url="s",
+                network_name="X", platform="toaster",
+            )
+
+    def test_is_ad_subscription(self):
+        fcm = FcmService()
+        ad = subscribe(fcm)
+        alert = fcm.subscribe(
+            origin="https://n.com", source_url="https://n.com/",
+            sw_script_url="s", network_name=None, platform="desktop",
+            alert_family="breaking_news",
+        )
+        assert ad.is_ad_subscription and not alert.is_ad_subscription
+
+
+class TestQueueing:
+    def test_send_to_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            FcmService().send("ghost", creative(), 0.0)
+
+    def test_deliver_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            FcmService().deliver("ghost", 0.0)
+
+    def test_messages_queue_until_delivery(self):
+        fcm = FcmService()
+        sub = subscribe(fcm)
+        fcm.send(sub.endpoint, creative("one"), now_min=5.0)
+        fcm.send(sub.endpoint, creative("two"), now_min=20.0)
+        assert fcm.pending(sub.endpoint, now_min=10.0) == 1
+        assert fcm.pending(sub.endpoint, now_min=30.0) == 2
+
+    def test_deliver_releases_only_already_sent(self):
+        fcm = FcmService()
+        sub = subscribe(fcm)
+        fcm.send(sub.endpoint, creative("early"), now_min=5.0)
+        fcm.send(sub.endpoint, creative("late"), now_min=50.0)
+        batch = fcm.deliver(sub.endpoint, now_min=10.0)
+        assert [d.creative.title for d in batch] == ["early"]
+        assert fcm.pending(sub.endpoint, now_min=100.0) == 1
+
+    def test_deliver_drains(self):
+        fcm = FcmService()
+        sub = subscribe(fcm)
+        fcm.send(sub.endpoint, creative(), now_min=1.0)
+        assert len(fcm.deliver(sub.endpoint, now_min=2.0)) == 1
+        assert fcm.deliver(sub.endpoint, now_min=2.0) == []
+
+    def test_latency_accounting(self):
+        fcm = FcmService()
+        sub = subscribe(fcm)
+        fcm.send(sub.endpoint, creative(), now_min=3.0)
+        delivery = fcm.deliver(sub.endpoint, now_min=10.0)[0]
+        assert delivery.latency_min == 7.0
+        assert delivery.subscription is sub
+
+    def test_counters(self):
+        fcm = FcmService()
+        sub = subscribe(fcm)
+        fcm.send(sub.endpoint, creative(), 0.0)
+        fcm.send(sub.endpoint, creative(), 0.0)
+        fcm.deliver(sub.endpoint, 1.0)
+        assert fcm.total_sent == 2
+        assert fcm.total_delivered == 2
+
+    def test_per_endpoint_isolation(self):
+        fcm = FcmService()
+        a, b = subscribe(fcm), subscribe(fcm, origin="https://b.com")
+        fcm.send(a.endpoint, creative(), 0.0)
+        assert fcm.deliver(b.endpoint, 10.0) == []
+        assert len(fcm.deliver(a.endpoint, 10.0)) == 1

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a real subprocess (as a user would run it) at
+a tiny scale, and its output is checked for the section headers it promises.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--scale", "0.015", "--seed", "3")
+        assert "Table 3" in out
+        assert "Table 4" in out
+        assert "the paper measured 51%" in out
+
+    def test_campaign_hunt(self):
+        out = run_example("campaign_hunt.py", "--scale", "0.02", "--seed", "3")
+        assert "Example WPN clusters" in out
+        assert "Meta clusters" in out
+        assert "WPN ads per ad network" in out
+
+    def test_adblock_audit(self):
+        out = run_example("adblock_audit.py", "--scale", "0.015", "--seed", "3")
+        assert "Table 6" in out
+        assert "SW-aware" in out
+
+    def test_browser_session_trace(self):
+        out = run_example("browser_session_trace.py", "--seed", "3")
+        assert "instrumentation event log" in out
+        assert "notification_shown" in out
+
+    def test_browser_session_trace_mobile(self):
+        out = run_example("browser_session_trace.py", "--seed", "3", "--mobile")
+        assert "ADB logcat" in out
+
+    def test_blocklist_sensitivity(self):
+        out = run_example("blocklist_sensitivity.py", "--scale", "0.015",
+                          "--seed", "3")
+        assert "VT coverage" in out
+        assert "amplification" in out
+
+    def test_realtime_blocker(self):
+        out = run_example("realtime_blocker.py", "--scale", "0.03", "--seed", "3")
+        assert "threshold" in out
+        assert "false-block budget" in out
+
+    def test_reproduce_paper(self, tmp_path):
+        out = run_example(
+            "reproduce_paper.py", "--scale", "0.02", "--seed", "3",
+            "--out", str(tmp_path),
+        )
+        assert "Table 1" in out
+        assert (tmp_path / "tables.txt").exists()
+        assert (tmp_path / "records.jsonl").exists()
+        assert list(tmp_path.glob("*.svg"))

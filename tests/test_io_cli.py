@@ -1,0 +1,135 @@
+"""Tests for dataset persistence (JSONL) and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_records, record_from_dict, record_to_dict, save_records
+from tests.core.test_records_features import make_record
+
+
+class TestRecordRoundTrip:
+    def test_dict_round_trip(self):
+        record = make_record()
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_invalid_record_round_trip(self):
+        record = make_record(valid=False, landing_url=None, redirect_hops=(),
+                             visual_hash=None, landing_ip=None,
+                             landing_registrant=None)
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_schema_version_checked(self):
+        data = record_to_dict(make_record())
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            record_from_dict(data)
+
+    def test_file_round_trip(self, tmp_path):
+        records = [make_record(), make_record(wpn_id="w2", title="other")]
+        path = tmp_path / "records.jsonl"
+        assert save_records(records, path) == 2
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_real_dataset_round_trip(self, tmp_path, small_dataset):
+        sample = small_dataset.records[:50]
+        path = tmp_path / "sample.jsonl"
+        save_records(sample, path)
+        assert load_records(path) == sample
+
+    def test_corrupt_line_reported_with_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a record"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_records(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        record = make_record()
+        path = tmp_path / "r.jsonl"
+        path.write_text(json.dumps(record_to_dict(record)) + "\n\n")
+        assert load_records(path) == [record]
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("crawl", "analyze", "experiments", "detect"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_crawl_writes_records(self, tmp_path, capsys):
+        out = tmp_path / "records.jsonl"
+        code = main(["crawl", "--scale", "0.01", "--seed", "3",
+                     "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert load_records(out)
+        captured = capsys.readouterr().out
+        assert "collected_wpns" in captured
+
+    def test_analyze_from_file(self, tmp_path, capsys):
+        out = tmp_path / "records.jsonl"
+        main(["crawl", "--scale", "0.015", "--seed", "3", "--output", str(out)])
+        capsys.readouterr()
+        code = main(["analyze", "--records", str(out), "--seed", "3"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table 3" in captured
+        assert "Table 4" in captured
+        assert "Figure 6" in captured
+
+    def test_analyze_fresh_crawl(self, capsys):
+        assert main(["analyze", "--scale", "0.01", "--seed", "4"]) == 0
+        assert "malicious_ad_pct" in capsys.readouterr().out
+
+    def test_detect_command(self, capsys):
+        assert main(["detect", "--scale", "0.02", "--seed", "5"]) == 0
+        captured = capsys.readouterr().out
+        assert "precision" in captured and "auc" in captured
+
+
+class TestMarkdownSummary:
+    def test_summary_markdown_content(self, small_dataset, small_result):
+        from repro.core.report import summary_markdown
+
+        text = summary_markdown(small_dataset, small_result)
+        assert text.startswith("# PushAdMiner run summary")
+        assert "## Table 3" in text
+        assert "## Table 4" in text
+        assert "## Figure 6" in text
+        assert "malicious_ad_pct" in text
+        # Markdown tables are well-formed (same pipe count per section row).
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_cli_markdown_flag(self, tmp_path, capsys):
+        out = tmp_path / "summary.md"
+        assert main(["analyze", "--scale", "0.01", "--seed", "6",
+                     "--markdown", str(out)]) == 0
+        assert out.exists()
+        assert "# PushAdMiner run summary" in out.read_text()
+
+    def test_cli_markdown_from_records_file(self, tmp_path, capsys):
+        records = tmp_path / "r.jsonl"
+        main(["crawl", "--scale", "0.015", "--seed", "6",
+              "--output", str(records)])
+        out = tmp_path / "s.md"
+        assert main(["analyze", "--records", str(records), "--seed", "6",
+                     "--markdown", str(out)]) == 0
+        assert "Table 3" in out.read_text()
+
+
+class TestExperimentsCommand:
+    def test_experiments_command_prints_all_sections(self, capsys):
+        assert main(["experiments", "--scale", "0.012", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("pilot:", "blocklist lag:", "revisit:",
+                       "double permission:", "quiet UI:"):
+            assert marker in out

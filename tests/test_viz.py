@@ -1,0 +1,98 @@
+"""Tests for the SVG figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import figure5_svg, figure6_svg, latency_cdf_svg, save_figures
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestFigure6:
+    ROWS = [("Ad-Maven", 120, 90), ("OneSignal", 60, 2), ("PopAds", 10, 10)]
+
+    def test_valid_svg(self):
+        root = parse(figure6_svg(self.ROWS))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_bar_pair_per_row(self):
+        root = parse(figure6_svg(self.ROWS))
+        rects = root.findall(f"{SVG_NS}rect")
+        # 2 legend swatches + 2 bars per network
+        assert len(rects) == 2 + 2 * len(self.ROWS)
+
+    def test_labels_present(self):
+        svg = figure6_svg(self.ROWS)
+        for name, _, _ in self.ROWS:
+            assert name in svg
+
+    def test_bar_widths_proportional(self):
+        root = parse(figure6_svg([("A", 100, 50), ("B", 50, 25)]))
+        rects = [r for r in root.findall(f"{SVG_NS}rect")][2:]
+        width_a = float(rects[0].get("width"))
+        width_b = float(rects[2].get("width"))
+        assert width_a == pytest.approx(2 * width_b, rel=0.01)
+
+    def test_escapes_markup(self):
+        svg = figure6_svg([("bad<name>&", 1, 0)])
+        parse(svg)  # must stay well-formed
+        assert "bad<name>" not in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            figure6_svg([])
+
+
+class TestFigure5:
+    def graph(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("W1", bipartite="cluster", size=5, campaign=True)
+        g.add_node("W2", bipartite="cluster", size=1, campaign=False)
+        g.add_node("evil.xyz", bipartite="domain")
+        g.add_edge("W1", "evil.xyz")
+        g.add_edge("W2", "evil.xyz")
+        return g
+
+    def test_valid_svg_with_edges(self):
+        root = parse(figure5_svg(self.graph()))
+        assert len(root.findall(f"{SVG_NS}line")) >= 2  # 2 edges (+ axes none)
+        assert len(root.findall(f"{SVG_NS}circle")) == 2
+        assert len([r for r in root.findall(f"{SVG_NS}rect")]) == 1
+
+    def test_requires_both_sides(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("W1", bipartite="cluster")
+        with pytest.raises(ValueError):
+            figure5_svg(g)
+
+
+class TestLatencyCdf:
+    def test_valid(self):
+        svg = latency_cdf_svg({1.0: 0.1, 15.0: 0.98, 60.0: 1.0})
+        root = parse(svg)
+        assert root.findall(f"{SVG_NS}path")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_cdf_svg({})
+
+
+class TestSaveFigures:
+    def test_writes_files(self, tmp_path, small_dataset, small_result):
+        written = save_figures(
+            small_result, small_dataset.first_latencies_min, tmp_path
+        )
+        assert written
+        names = {p.name for p in written}
+        assert "figure6_network_distribution.svg" in names
+        for path in written:
+            parse(path.read_text())  # each file is well-formed SVG

@@ -1,0 +1,71 @@
+"""Tests for union-find and connected components."""
+
+import pytest
+
+from repro.util.graph import UnionFind, connected_components
+
+
+class TestUnionFind:
+    def test_singletons_after_add(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert len(uf) == 2
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        root1 = uf.union("a", "b")
+        root2 = uf.union("a", "b")
+        assert root1 == root2
+        assert len(uf.components()) == 1
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("ghost")
+
+    def test_add_existing_is_noop(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("a")
+        assert uf.connected("a", "b")
+
+    def test_components_partition_everything(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        comps = uf.components()
+        assert sorted(len(c) for c in comps) == [1, 1, 2, 2]
+        assert sorted(x for c in comps for x in c) == list(range(6))
+
+    def test_contains(self):
+        uf = UnionFind(["x"])
+        assert "x" in uf
+        assert "y" not in uf
+
+    def test_transitive_chain(self):
+        uf = UnionFind()
+        for i in range(100):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 100)
+        assert len(uf.components()) == 1
+
+
+class TestConnectedComponents:
+    def test_isolated_nodes_kept(self):
+        comps = connected_components(edges=[(1, 2)], nodes=[3])
+        assert sorted(sorted(c) for c in comps) == [[1, 2], [3]]
+
+    def test_empty_graph(self):
+        assert connected_components(edges=[]) == []
+
+    def test_bipartite_style_merge(self):
+        # Two "clusters" sharing a "domain" end up in one component.
+        edges = [(("w", 1), ("d", "x.com")), (("w", 2), ("d", "x.com"))]
+        comps = connected_components(edges)
+        assert len(comps) == 1
+        assert len(comps[0]) == 3

@@ -1,0 +1,68 @@
+"""Tests for small statistics helpers."""
+
+import pytest
+
+from repro.util.stats import counter_table, empirical_cdf, percentile, safe_ratio
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7], 40) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        assert empirical_cdf([1, 2, 3, 4], [2.5]) == [0.5]
+
+    def test_below_and_above(self):
+        cdf = empirical_cdf([10, 20], [5, 25])
+        assert cdf == [0.0, 1.0]
+
+    def test_monotone(self):
+        cdf = empirical_cdf([3, 1, 4, 1, 5], [1, 2, 3, 4, 5])
+        assert cdf == sorted(cdf)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([], [1])
+
+
+class TestCounterTable:
+    def test_sorted_by_count(self):
+        rows = counter_table(["a", "b", "b", "b", "a", "c"])
+        assert rows[0] == ("b", 3)
+        assert rows[1] == ("a", 2)
+
+    def test_top_limits(self):
+        rows = counter_table(["a", "b", "b"], top=1)
+        assert rows == [("b", 2)]
+
+    def test_deterministic_tiebreak(self):
+        assert counter_table(["b", "a"]) == counter_table(["a", "b"])
+
+
+class TestSafeRatio:
+    def test_normal(self):
+        assert safe_ratio(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert safe_ratio(5, 0) == 0.0

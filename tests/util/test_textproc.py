@@ -1,0 +1,85 @@
+"""Tests for tokenization helpers."""
+
+import pytest
+
+from repro.util.textproc import (
+    jaccard_distance,
+    ngrams,
+    tokenize_text,
+    tokenize_url_path,
+)
+
+
+class TestTokenizeText:
+    def test_lowercases_and_splits(self):
+        assert tokenize_text("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize_text("win $1,000 now!!!") == ["win", "1", "000", "now"]
+
+    def test_keeps_apostrophes(self):
+        assert "don't" in tokenize_text("Don't miss this")
+
+    def test_drops_stopwords_by_default(self):
+        tokens = tokenize_text("the prize of a winner")
+        assert "the" not in tokens and "of" not in tokens
+        assert "prize" in tokens
+
+    def test_can_keep_stopwords(self):
+        assert "the" in tokenize_text("the prize", drop_stopwords=False)
+
+    def test_keeps_possessive_scam_phrasing(self):
+        # "your" is a real push-ad signal and must survive stopwording.
+        assert "your" in tokenize_text("Your payment info has been leaked")
+
+    def test_empty(self):
+        assert tokenize_text("") == []
+
+
+class TestTokenizeUrlPath:
+    def test_paper_example_shape(self):
+        tokens = tokenize_url_path("/offers/win-prize/claim.php", "uid=99&src=push")
+        assert tokens == ["offers", "win", "prize", "claim", "php", "uid", "src"]
+
+    def test_query_values_excluded(self):
+        tokens = tokenize_url_path("/a", "token=SECRETVALUE")
+        assert "secretvalue" not in tokens
+        assert "token" in tokens
+
+    def test_no_query(self):
+        assert tokenize_url_path("/x/y") == ["x", "y"]
+
+    def test_root_path(self):
+        assert tokenize_url_path("/") == []
+
+    def test_query_without_value(self):
+        assert tokenize_url_path("/p", "flag") == ["p", "flag"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a b", "b c"]
+
+    def test_n_longer_than_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestJaccardDistance:
+    def test_identical_sets(self):
+        assert jaccard_distance({"a", "b"}, {"a", "b"}) == 0.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_distance({"a"}, {"b"}) == 1.0
+
+    def test_both_empty_is_zero(self):
+        assert jaccard_distance(set(), set()) == 0.0
+
+    def test_one_empty_is_one(self):
+        assert jaccard_distance({"a"}, set()) == 1.0
+
+    def test_half_overlap(self):
+        assert jaccard_distance({"a", "b"}, {"b", "c"}) == pytest.approx(2 / 3)

@@ -1,0 +1,81 @@
+"""Tests for the ad network roster (Table 1 transcription)."""
+
+import pytest
+
+from repro.webenv.adnetworks import (
+    AD_NETWORKS,
+    ALL_SEEDS,
+    GENERIC_KEYWORDS,
+    PAPER_TOTAL_NPRS,
+    PAPER_TOTAL_URLS,
+    seeds_by_name,
+)
+
+
+class TestRoster:
+    def test_fifteen_networks(self):
+        assert len(AD_NETWORKS) == 15
+
+    def test_four_generic_keywords(self):
+        assert len(GENERIC_KEYWORDS) == 4
+
+    def test_totals_match_table1(self):
+        assert sum(s.paper_urls for s in ALL_SEEDS) == PAPER_TOTAL_URLS == 87_622
+        assert sum(s.paper_nprs for s in ALL_SEEDS) == PAPER_TOTAL_NPRS == 5_849
+
+    def test_admaven_row(self):
+        spec = seeds_by_name()["Ad-Maven"]
+        assert (spec.paper_urls, spec.paper_nprs) == (49_769, 1_168)
+
+    def test_onesignal_has_most_nprs(self):
+        top = max(ALL_SEEDS, key=lambda s: s.paper_nprs)
+        assert top.name == "OneSignal"
+
+    def test_npr_rate(self):
+        spec = seeds_by_name()["OneSignal"]
+        assert spec.npr_rate == pytest.approx(2_933 / 11_317)
+
+    def test_zero_url_guard(self):
+        from repro.webenv.adnetworks import AdNetworkSpec
+
+        assert AdNetworkSpec("X", "x", 0, 0, 0.5).npr_rate == 0.0
+
+    def test_unique_names_and_keywords(self):
+        names = [s.name for s in ALL_SEEDS]
+        keywords = [s.search_keyword for s in ALL_SEEDS]
+        assert len(set(names)) == len(names)
+        assert len(set(keywords)) == len(keywords)
+
+
+class TestSdkMarkers:
+    def test_marker_contains_search_keyword(self):
+        for spec in ALL_SEEDS:
+            assert spec.search_keyword in spec.sdk_marker
+
+    def test_generic_marker_is_keyword_itself(self):
+        for spec in GENERIC_KEYWORDS:
+            assert spec.sdk_marker == spec.search_keyword
+
+    def test_markers_do_not_cross_match(self):
+        # No network's page marker may accidentally contain another seed's
+        # keyword: that would double-count Table 1 rows.
+        for spec in AD_NETWORKS:
+            for other in ALL_SEEDS:
+                if other.name == spec.name:
+                    continue
+                assert other.search_keyword not in spec.sdk_marker
+
+
+class TestEconomics:
+    def test_reengagement_platforms_are_low_ad_share(self):
+        by_name = seeds_by_name()
+        for name in ("OneSignal", "PushEngage", "iZooto"):
+            assert by_name[name].ad_share <= 0.3
+
+    def test_monetizers_are_high_ad_share_and_abusive(self):
+        by_name = seeds_by_name()
+        for name in ("Ad-Maven", "PopAds", "PropellerAds", "AdsTerra"):
+            assert by_name[name].ad_share >= 0.9
+            assert by_name[name].abuse_level >= 0.5
+            # ... and clearly more abusive than the re-engagement platforms.
+            assert by_name[name].abuse_level > by_name["OneSignal"].abuse_level

@@ -1,0 +1,185 @@
+"""Tests for advertiser campaigns and operations."""
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.webenv.campaigns import (
+    AdCampaign,
+    CampaignFactory,
+    MessageCreative,
+    make_alert_message,
+)
+from repro.webenv.content import family_by_name
+from repro.webenv.domains import DomainFactory
+
+
+@pytest.fixture
+def factory():
+    rngs = RngFactory(12)
+    return CampaignFactory(
+        rngs.stream("campaigns"), DomainFactory(rngs.stream("domains"))
+    )
+
+
+NETWORKS = {"Ad-Maven": 0.72, "OneSignal": 0.18, "PopAds": 0.78}
+FAMILIES = {
+    name: family_by_name(name)
+    for name in ("survey_scam", "sweepstakes", "tech_support", "scareware",
+                 "fake_paypal", "phishing_bank", "fake_delivery",
+                 "fake_missed_call", "spoofed_im", "crypto_scam")
+}
+
+
+class TestMaliciousOperations:
+    def test_operation_campaigns_share_domains(self, factory):
+        campaigns = factory.malicious_operation_campaigns(NETWORKS, 4, FAMILIES)
+        assert len(campaigns) == 4
+        op_id = campaigns[0].operation_id
+        assert all(c.operation_id == op_id for c in campaigns)
+        all_domains = [set(c.landing_domains) for c in campaigns]
+        shared = set.intersection(*all_domains) if len(all_domains) > 1 else set()
+        union = set.union(*all_domains)
+        operation = factory.operations[0]
+        # every campaign draws mostly from the operation pool
+        assert union & set(operation.shared_domains)
+
+    def test_campaigns_are_malicious(self, factory):
+        for campaign in factory.malicious_operation_campaigns(NETWORKS, 3, FAMILIES):
+            assert campaign.malicious
+            assert campaign.family.malicious
+
+    def test_operation_metadata(self, factory):
+        factory.malicious_operation_campaigns(NETWORKS, 2, FAMILIES)
+        op = factory.operations[0]
+        assert op.ip_addresses and op.shared_domains
+        assert "@" in op.registrant
+
+    def test_unique_campaign_ids(self, factory):
+        campaigns = factory.malicious_operation_campaigns(NETWORKS, 5, FAMILIES)
+        campaigns += factory.malicious_operation_campaigns(NETWORKS, 5, FAMILIES)
+        ids = [c.campaign_id for c in campaigns]
+        assert len(set(ids)) == len(ids)
+
+    def test_campaign_slug_in_path(self, factory):
+        for campaign in factory.malicious_operation_campaigns(NETWORKS, 3, FAMILIES):
+            # campaign-specific offer slug prefixes the family path template
+            assert campaign.path_template.startswith("/of")
+
+
+class TestBenignCampaigns:
+    def test_benign_flagging(self, factory):
+        campaign = factory.benign_campaign(NETWORKS, family_by_name("shopping_deal"))
+        assert not campaign.malicious
+        assert campaign.operation_id is None
+
+    def test_duplicate_ads_families_get_multiple_domains(self, factory):
+        campaign = factory.benign_campaign(NETWORKS, family_by_name("job_postings"))
+        assert len(campaign.landing_domains) >= 2
+
+
+class TestMessageGeneration:
+    def test_template_messages_reuse_campaign_variants(self, factory):
+        campaign = factory.benign_campaign(NETWORKS, family_by_name("shopping_deal"))
+        rng = RngFactory(5).stream("msgs")
+        for _ in range(30):
+            message = campaign.make_message(rng)
+            if not message.is_one_off:
+                assert message.title in campaign.title_variants
+                assert message.body in campaign.body_variants
+            assert message.landing_domain in campaign.landing_domains
+            assert message.campaign_id == campaign.campaign_id
+
+    def test_one_off_rate_roughly_matches_family(self, factory):
+        campaign = factory.malicious_operation_campaigns(NETWORKS, 1, FAMILIES)[0]
+        rng = RngFactory(5).stream("msgs")
+        one_offs = sum(campaign.make_message(rng).is_one_off for _ in range(400))
+        expected = campaign.family.text_variability
+        assert abs(one_offs / 400 - expected) < 0.12
+
+    def test_path_values_vary_but_names_fixed(self, factory):
+        campaign = factory.benign_campaign(NETWORKS, family_by_name("shopping_deal"))
+        rng = RngFactory(5).stream("msgs")
+        a = campaign.make_message(rng)
+        b = campaign.make_message(rng)
+        names = lambda q: [p.split("=")[0] for p in q.split("&") if p]
+        assert names(a.landing_query) == names(b.landing_query)
+
+
+class TestAlertMessages:
+    def test_lands_on_source(self):
+        rng = RngFactory(5).stream("alerts")
+        message = make_alert_message(
+            family_by_name("weather_alert"), "mysite.com", rng
+        )
+        assert message.landing_domain == "mysite.com"
+        assert message.campaign_id is None
+        assert not message.malicious
+
+    def test_rejects_ad_family(self):
+        rng = RngFactory(5).stream("alerts")
+        with pytest.raises(ValueError):
+            make_alert_message(family_by_name("survey_scam"), "x.com", rng)
+
+
+class TestValidation:
+    def test_campaign_requires_domains(self):
+        with pytest.raises(ValueError):
+            AdCampaign(
+                campaign_id="c1", family=family_by_name("shopping_deal"),
+                network_names=("X",), landing_domains=(),
+                path_template="/x", title_variants=("t",),
+                body_variants=("b",), weight=1.0,
+            )
+
+    def test_campaign_requires_positive_weight(self):
+        with pytest.raises(ValueError):
+            AdCampaign(
+                campaign_id="c1", family=family_by_name("shopping_deal"),
+                network_names=("X",), landing_domains=("d.com",),
+                path_template="/x", title_variants=("t",),
+                body_variants=("b",), weight=0.0,
+            )
+
+
+class TestDomainRotation:
+    def test_malicious_multi_domain_campaigns_rotate(self, factory):
+        campaigns = factory.malicious_operation_campaigns(NETWORKS, 4, FAMILIES)
+        rotating = [c for c in campaigns if len(c.landing_domains) > 1]
+        assert rotating
+        for campaign in rotating:
+            assert campaign.rotation_period_min is not None
+            assert campaign.rotation_period_min >= 7 * 24 * 60
+
+    def test_benign_campaigns_do_not_rotate(self, factory):
+        campaign = factory.benign_campaign(NETWORKS, family_by_name("job_postings"))
+        assert campaign.rotation_period_min is None
+
+    def test_active_domain_cycles_over_time(self, factory):
+        campaign = factory.malicious_operation_campaigns(NETWORKS, 1, FAMILIES)[0]
+        if campaign.rotation_period_min is None:
+            return
+        period = campaign.rotation_period_min
+        seen = {campaign.active_domain(period * k + 1) for k in range(
+            len(campaign.landing_domains))}
+        assert seen == set(campaign.landing_domains)
+        # Stable within one period.
+        assert campaign.active_domain(1.0) == campaign.active_domain(period - 1)
+
+    def test_timed_messages_prefer_active_domain(self, factory):
+        campaign = factory.malicious_operation_campaigns(NETWORKS, 1, FAMILIES)[0]
+        if campaign.rotation_period_min is None:
+            return
+        rng = RngFactory(8).stream("rotation")
+        at = campaign.rotation_period_min * 0.5  # inside the first phase
+        active = campaign.active_domain(at)
+        hits = sum(
+            campaign.make_message(rng, at_min=at).landing_domain == active
+            for _ in range(200)
+        )
+        assert hits / 200 > 0.7
+
+    def test_untimed_messages_spread_evenly(self, factory):
+        campaign = factory.malicious_operation_campaigns(NETWORKS, 1, FAMILIES)[0]
+        rng = RngFactory(8).stream("rotation2")
+        domains = {campaign.make_message(rng).landing_domain for _ in range(200)}
+        assert domains == set(campaign.landing_domains)

@@ -1,0 +1,144 @@
+"""Tests for content families and template filling."""
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.webenv.content import (
+    ALERT_FAMILIES,
+    BENIGN_AD_FAMILIES,
+    FAMILIES,
+    MALICIOUS_AD_FAMILIES,
+    SLOT_VOCAB,
+    ContentFamily,
+    family_by_name,
+    fill_template,
+    one_off_creative,
+)
+
+_SLOTTED = __import__("re").compile(r"\{[a-z_]+\}")
+
+
+def rng():
+    return RngFactory(4).stream("content")
+
+
+class TestFillTemplate:
+    def test_fills_all_slots(self):
+        text = fill_template("You won a {prize} in {city}!", rng())
+        assert not _SLOTTED.search(text)
+        assert "won" in text
+
+    def test_unknown_slot_raises(self):
+        with pytest.raises(KeyError):
+            fill_template("{nonexistent_slot}", rng())
+
+    def test_plain_text_unchanged(self):
+        assert fill_template("no slots here", rng()) == "no slots here"
+
+
+class TestFamilyRoster:
+    def test_unique_names(self):
+        names = [f.name for f in FAMILIES]
+        assert len(names) == len(set(names))
+
+    def test_partition(self):
+        assert set(FAMILIES) == (
+            set(MALICIOUS_AD_FAMILIES) | set(BENIGN_AD_FAMILIES) | set(ALERT_FAMILIES)
+        )
+
+    def test_all_template_slots_known(self):
+        for family in FAMILIES:
+            for template in family.titles + family.bodies + family.path_templates:
+                for slot in _SLOTTED.findall(template):
+                    assert slot[1:-1] in SLOT_VOCAB, (family.name, slot)
+
+    def test_paper_attack_families_present(self):
+        # The attack types the paper explicitly reports seeing.
+        for name in ("survey_scam", "tech_support", "fake_paypal",
+                     "fake_missed_call", "spoofed_im", "fake_delivery"):
+            assert family_by_name(name).malicious
+
+    def test_mobile_only_families(self):
+        assert family_by_name("fake_missed_call").platforms == ("mobile",)
+        assert "desktop" in family_by_name("tech_support").platforms
+
+    def test_malicious_families_rotate_domains(self):
+        assert all(f.duplicate_ads for f in MALICIOUS_AD_FAMILIES)
+
+    def test_benign_duplicate_ad_lookalikes(self):
+        # The paper's false-positive sources: jobs, horoscope, dating, welcome.
+        for name in ("job_postings", "horoscope", "dating_ads", "welcome_thankyou"):
+            family = family_by_name(name)
+            assert family.duplicate_ads and not family.malicious
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            family_by_name("nope")
+
+    def test_path_templates_start_with_slash(self):
+        for family in FAMILIES:
+            for template in family.path_templates:
+                assert template.startswith("/")
+
+
+class TestValidation:
+    def test_alert_cannot_be_malicious(self):
+        with pytest.raises(ValueError):
+            ContentFamily(
+                name="x", kind="alert", malicious=True, category="x",
+                titles=("t",), bodies=("b",), path_templates=("/p",),
+                theme_tokens=("x",),
+            )
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ContentFamily(
+                name="x", kind="spam", malicious=False, category="x",
+                titles=("t",), bodies=("b",), path_templates=("/p",),
+                theme_tokens=("x",),
+            )
+
+    def test_bad_variability(self):
+        with pytest.raises(ValueError):
+            ContentFamily(
+                name="x", kind="ad", malicious=False, category="x",
+                titles=("t",), bodies=("b",), path_templates=("/p",),
+                theme_tokens=("x",), text_variability=1.5,
+            )
+
+
+class TestOneOffCreative:
+    def test_one_offs_are_diverse(self):
+        family = family_by_name("survey_scam")
+        r = rng()
+        creatives = {one_off_creative(family, r) for _ in range(50)}
+        assert len(creatives) > 45
+
+    def test_one_off_carries_theme(self):
+        family = family_by_name("survey_scam")
+        title, body = one_off_creative(family, rng())
+        text = (title + " " + body).lower()
+        assert any(token in text for token in family.theme_tokens)
+
+
+class TestNewFamilies:
+    def test_malvertising_classics_present(self):
+        flash = family_by_name("fake_flash_update")
+        locker = family_by_name("browser_locker")
+        assert flash.malicious and locker.malicious
+        assert flash.platforms == ("desktop",)
+        assert "support-phone-number" in locker.page_signals
+
+    def test_benign_additions_present(self):
+        streaming = family_by_name("streaming_promo")
+        coupons = family_by_name("coupon_deals")
+        assert not streaming.malicious and not coupons.malicious
+        assert coupons.duplicate_ads
+
+    def test_every_family_has_page_signals(self):
+        for family in FAMILIES:
+            assert family.page_signals, family.name
+
+    def test_spoofing_families_have_icon_brands(self):
+        for name in ("fake_paypal", "fake_delivery", "spoofed_im"):
+            assert family_by_name(name).icon_brands

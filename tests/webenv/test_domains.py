@@ -1,0 +1,78 @@
+"""Tests for domain generation and eTLD+1 extraction."""
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.webenv.domains import (
+    BENIGN_TLDS,
+    SHADY_TLDS,
+    DomainFactory,
+    effective_second_level_domain,
+)
+
+
+class TestEffectiveSecondLevelDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("example.com", "example.com"),
+            ("www.example.com", "example.com"),
+            ("a.b.c.example.com", "example.com"),
+            ("example.co.uk", "example.co.uk"),
+            ("news.example.co.uk", "example.co.uk"),
+            ("shop.example.com.au", "example.com.au"),
+            ("localhost", "localhost"),
+        ],
+    )
+    def test_cases(self, host, expected):
+        assert effective_second_level_domain(host) == expected
+
+    def test_case_insensitive(self):
+        assert effective_second_level_domain("WWW.Example.COM") == "example.com"
+
+    def test_trailing_dot(self):
+        assert effective_second_level_domain("www.example.com.") == "example.com"
+
+
+class TestDomainFactory:
+    def make(self, seed=1):
+        return DomainFactory(RngFactory(seed).stream("domains"))
+
+    def test_uniqueness(self):
+        factory = self.make()
+        names = [factory.benign() for _ in range(300)]
+        names += [factory.shady() for _ in range(300)]
+        assert len(names) == len(set(names))
+
+    def test_benign_uses_benign_tlds(self):
+        factory = self.make()
+        for _ in range(50):
+            domain = factory.benign()
+            tld = domain.split(".", 1)[1]
+            assert tld in BENIGN_TLDS
+
+    def test_shady_uses_shady_tlds(self):
+        factory = self.make()
+        for _ in range(50):
+            tld = factory.shady().rsplit(".", 1)[-1]
+            assert tld in SHADY_TLDS
+
+    def test_ad_network_domain_is_clean(self):
+        assert self.make().ad_network("Ad-Maven") == "admaven.com"
+
+    def test_deterministic(self):
+        a = [self.make(3).benign() for _ in range(5)]
+        b = [self.make(3).benign() for _ in range(5)]
+        assert a == b
+
+    def test_issued_count(self):
+        factory = self.make()
+        factory.benign()
+        factory.shady()
+        assert factory.issued_count() == 2
+
+    def test_etld1_of_generated_benign_is_itself(self):
+        factory = self.make()
+        for _ in range(30):
+            domain = factory.benign()
+            assert effective_second_level_domain(f"www.{domain}") == domain

@@ -1,0 +1,117 @@
+"""Tests for the scenario config and whole-ecosystem generator."""
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.webenv.adnetworks import ALL_SEEDS, seeds_by_name
+from repro.webenv.generator import generate_ecosystem
+from repro.webenv.scenario import ScenarioConfig, paper_scenario
+
+
+class TestScenarioConfig:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    def test_scaled(self):
+        config = ScenarioConfig(scale=0.1)
+        assert config.scaled(1000) == 100
+        assert config.scaled(4) == 0
+
+    def test_study_minutes(self):
+        assert ScenarioConfig(study_days=2).study_minutes == 2 * 24 * 60
+
+    @pytest.mark.parametrize("field,value", [
+        ("scale", 0.0),
+        ("study_days", 0),
+        ("active_notifier_rate", 1.5),
+        ("vt_late_rate", -0.1),
+        ("campaigns_per_operation", (3, 2)),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**{field: value})
+
+    def test_paper_scenario_scales_campaigns(self):
+        small = paper_scenario(scale=0.05)
+        large = paper_scenario(scale=0.25)
+        assert large.n_malicious_operations > small.n_malicious_operations
+        assert large.n_benign_ad_campaigns > small.n_benign_ad_campaigns
+
+
+class TestGenerateEcosystem:
+    @pytest.fixture(scope="class")
+    def eco(self):
+        return generate_ecosystem(paper_scenario(seed=5, scale=0.02))
+
+    def test_website_counts_match_scaled_table1(self, eco):
+        config = eco.config
+        by_seed = {}
+        for site in eco.websites:
+            by_seed.setdefault(site.seed_keyword, []).append(site)
+        for spec in ALL_SEEDS:
+            sites = by_seed.get(spec.name, [])
+            assert len(sites) == config.scaled(spec.paper_urls)
+            nprs = sum(1 for s in sites if s.requests_permission)
+            assert nprs == min(len(sites), config.scaled(spec.paper_nprs))
+
+    def test_search_engine_indexed_everything(self, eco):
+        assert len(eco.search_engine) == len(eco.websites)
+
+    def test_every_active_network_has_campaigns(self, eco):
+        for name, spec in eco.networks.items():
+            if spec.paper_nprs > 0:
+                assert eco.campaigns_by_network.get(name), name
+
+    def test_operations_share_infrastructure(self, eco):
+        op = eco.operations[0]
+        ips = {eco.infrastructure.ip_of(d) for d in op.shared_domains}
+        assert ips <= set(op.ip_addresses)
+        registrants = {eco.infrastructure.registrant_of(d) for d in op.shared_domains}
+        assert registrants == {op.registrant}
+
+    def test_campaign_lookup(self, eco):
+        campaign = eco.campaigns[0]
+        assert eco.campaign(campaign.campaign_id) is campaign
+        with pytest.raises(KeyError):
+            eco.operation("opXXXX")
+
+    def test_sample_ad_message_platform_filter(self, eco):
+        rng = RngFactory(1).stream("sample")
+        for _ in range(50):
+            message = eco.sample_ad_message("Ad-Maven", "mobile", rng)
+            if message is None:
+                continue
+            family = eco.campaign(message.campaign_id).family
+            assert "mobile" in family.platforms
+
+    def test_abusive_network_serves_mostly_malicious(self, eco):
+        rng = RngFactory(1).stream("sample2")
+        def malicious_share(network):
+            msgs = [eco.sample_ad_message(network, "desktop", rng) for _ in range(300)]
+            msgs = [m for m in msgs if m]
+            return sum(m.malicious for m in msgs) / len(msgs)
+        assert malicious_share("Ad-Maven") > malicious_share("OneSignal")
+
+    def test_landing_prompt_decision_is_stable(self, eco):
+        first = eco.landing_prompts("some-landing.xyz")
+        assert eco.landing_prompts("some-landing.xyz") == first
+
+    def test_resolve_click_for_ad(self, eco):
+        rng = RngFactory(1).stream("sample3")
+        message = None
+        while message is None:
+            message = eco.sample_ad_message("Ad-Maven", "desktop", rng)
+        chain, landing = eco.resolve_click(message, "Ad-Maven")
+        assert landing.url.host == message.landing_domain
+        assert chain.landing_url == landing.url
+        assert landing.malicious == message.malicious
+        assert landing.ip_address
+
+    def test_determinism_across_builds(self):
+        a = generate_ecosystem(paper_scenario(seed=5, scale=0.02))
+        b = generate_ecosystem(paper_scenario(seed=5, scale=0.02))
+        assert [str(s.url) for s in a.websites] == [str(s.url) for s in b.websites]
+        assert [c.campaign_id for c in a.campaigns] == [c.campaign_id for c in b.campaigns]
+        assert [c.landing_domains for c in a.campaigns] == [
+            c.landing_domains for c in b.campaigns
+        ]

@@ -1,0 +1,95 @@
+"""Tests for landing pages, redirect chains, and hosting infrastructure."""
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.webenv.landing import (
+    LandingInfrastructure,
+    RedirectChain,
+    RedirectChainBuilder,
+    visual_signature,
+)
+from repro.webenv.urls import Url
+
+
+class TestVisualSignature:
+    def test_same_family_same_operation(self):
+        assert visual_signature("survey_scam", "op1") == visual_signature(
+            "survey_scam", "op1"
+        )
+
+    def test_differs_across_operations(self):
+        assert visual_signature("survey_scam", "op1") != visual_signature(
+            "survey_scam", "op2"
+        )
+
+    def test_differs_across_families(self):
+        assert visual_signature("survey_scam", "op1") != visual_signature(
+            "tech_support", "op1"
+        )
+
+    def test_standalone(self):
+        assert visual_signature("x", None) == visual_signature("x", None)
+
+
+class TestLandingInfrastructure:
+    def test_registered_facts_win(self):
+        infra = LandingInfrastructure(RngFactory(1).stream("infra"))
+        infra.register("evil.xyz", "1.2.3.4", "reg@x")
+        assert infra.ip_of("evil.xyz") == "1.2.3.4"
+        assert infra.registrant_of("evil.xyz") == "reg@x"
+
+    def test_lazy_allocation_is_stable(self):
+        infra = LandingInfrastructure(RngFactory(1).stream("infra"))
+        assert infra.ip_of("a.com") == infra.ip_of("a.com")
+        assert infra.registrant_of("a.com") == infra.registrant_of("a.com")
+
+    def test_distinct_domains_distinct_ips(self):
+        infra = LandingInfrastructure(RngFactory(1).stream("infra"))
+        ips = {infra.ip_of(f"d{i}.com") for i in range(30)}
+        assert len(ips) > 25
+
+
+class TestRedirectChain:
+    def test_requires_hops(self):
+        with pytest.raises(ValueError):
+            RedirectChain(hops=())
+
+    def test_click_and_landing(self):
+        a, b = Url(host="t.com"), Url(host="l.com")
+        chain = RedirectChain(hops=(a, b))
+        assert chain.click_url == a
+        assert chain.landing_url == b
+        assert len(chain) == 2
+
+
+class TestRedirectChainBuilder:
+    def build(self):
+        return RedirectChainBuilder(
+            RngFactory(2).stream("redir"), {"Ad-Maven": "admaven.com"}
+        )
+
+    def test_ad_click_goes_through_tracker(self):
+        landing = Url(host="evil.xyz", path="/x")
+        chain = self.build().build("Ad-Maven", landing)
+        assert chain.click_url.host == "click.admaven.com"
+        assert chain.landing_url == landing
+        assert 2 <= len(chain) <= 3
+
+    def test_alert_click_is_direct(self):
+        landing = Url(host="news.com", path="/story")
+        chain = self.build().build(None, landing)
+        assert len(chain) == 1
+        assert chain.landing_url == landing
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            self.build().build("Nope", Url(host="x.com"))
+
+    def test_extra_hop_rate(self):
+        builder = self.build()
+        lengths = [
+            len(builder.build("Ad-Maven", Url(host="x.com"))) for _ in range(200)
+        ]
+        three_hop = sum(1 for n in lengths if n == 3)
+        assert 0.25 < three_hop / 200 < 0.55

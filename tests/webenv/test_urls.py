@@ -1,0 +1,66 @@
+"""Tests for the Url value type."""
+
+import pytest
+
+from repro.webenv.urls import Url
+
+
+class TestConstruction:
+    def test_defaults(self):
+        url = Url(host="example.com")
+        assert str(url) == "https://example.com/"
+
+    def test_requires_host(self):
+        with pytest.raises(ValueError):
+            Url(host="")
+
+    def test_path_must_be_absolute(self):
+        with pytest.raises(ValueError):
+            Url(host="a.com", path="x")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            Url(host="a.com", scheme="ftp")
+
+
+class TestParse:
+    def test_round_trip(self):
+        text = "https://a.example.com/x/y?z=1&w=2"
+        assert str(Url.parse(text)) == text
+
+    def test_host_lowercased(self):
+        assert Url.parse("https://EXAMPLE.com/").host == "example.com"
+
+    def test_bare_host(self):
+        url = Url.parse("http://example.com")
+        assert url.path == "/" and url.query == ""
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            Url.parse("/just/a/path")
+
+    def test_query_split(self):
+        url = Url.parse("https://a.com/p?x=1")
+        assert url.path == "/p" and url.query == "x=1"
+
+
+class TestProperties:
+    def test_is_secure(self):
+        assert Url(host="a.com").is_secure
+        assert not Url(host="a.com", scheme="http").is_secure
+
+    def test_origin(self):
+        assert Url(host="a.com", path="/x").origin == "https://a.com"
+
+    def test_query_params_ordered(self):
+        url = Url(host="a.com", query="b=2&a=1&flag")
+        assert url.query_params() == [("b", "2"), ("a", "1"), ("flag", "")]
+
+    def test_with_query(self):
+        url = Url(host="a.com", path="/p").with_query({"x": "1"})
+        assert str(url) == "https://a.com/p?x=1"
+
+    def test_ordering_and_hashability(self):
+        a, b = Url(host="a.com"), Url(host="b.com")
+        assert a < b
+        assert len({a, b, Url(host="a.com")}) == 2
