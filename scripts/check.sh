@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The single pre-merge gate: pushlint + mypy (when installed) + tier-1 pytest.
+# Usage: scripts/check.sh [extra pytest args...]
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+step() {
+    echo
+    echo "==> $1"
+}
+
+step "pushlint (python -m repro.analysis src/repro)"
+python -m repro.analysis src/repro || failures=$((failures + 1))
+
+step "mypy (strict: repro.util, repro.analysis)"
+if python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy src/repro/util src/repro/analysis || failures=$((failures + 1))
+else
+    echo "mypy not installed; skipping (config lives in pyproject.toml)"
+fi
+
+step "tier-1 pytest"
+python -m pytest -x -q "$@" || failures=$((failures + 1))
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: FAILED ($failures step(s) failed)"
+    exit 1
+fi
+echo "check.sh: all checks passed"

@@ -1,0 +1,40 @@
+"""pushlint: determinism & hygiene static analysis for this reproduction.
+
+The validity of the whole repo rests on the DESIGN.md claim that every live
+dependency of PushAdMiner is replaced by a *deterministic* simulator. This
+package machine-checks the invariants that claim depends on — no wall-clock
+reads, no unseeded RNG, no network imports, a clean package DAG — plus a
+few hygiene rules, with per-line suppression and a ratcheting baseline.
+
+Run it as ``python -m repro.analysis src/repro`` (see docs/ANALYSIS.md),
+or programmatically::
+
+    from repro.analysis import AnalysisEngine
+    result = AnalysisEngine().run([Path("src/repro")])
+    assert result.ok, result.findings
+
+``repro.analysis`` sits at the bottom of the package DAG next to
+``repro.util``: it imports nothing from the rest of the repo, so it can
+judge every layer without being entangled with any.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisEngine, AnalysisResult, iter_python_files
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules import ALL_RULES, Rule, default_rules, select_rules
+from repro.analysis.source import ModuleSource, SourceError
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisEngine",
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "Severity",
+    "SourceError",
+    "default_rules",
+    "iter_python_files",
+    "select_rules",
+]

@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `... | head`) closed early; mirror the
+        # conventional Unix behaviour instead of dumping a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -1,0 +1,98 @@
+"""Baseline files: grandfathered findings that don't fail the gate.
+
+A baseline lets the gate go green on day one of a new rule while the debt
+is paid down; every entry is a *budget* (fingerprint -> count) that can
+only shrink. Fingerprints hash the offending source text rather than line
+numbers, so edits elsewhere in a file don't churn the baseline.
+
+This repo's checked-in baseline is intentionally empty — every finding the
+initial rules surfaced was fixed, not suppressed — but the mechanism is
+load-bearing for future rule roll-outs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.finding import Finding
+
+_VERSION = 1
+
+
+class Baseline:
+    """A budget of known findings, keyed by fingerprint."""
+
+    def __init__(self, budget: "Dict[str, int] | None" = None):
+        self._budget: Dict[str, int] = dict(budget or {})
+        # Human-readable context per fingerprint, persisted for reviewers.
+        self._context: Dict[str, Tuple[str, str]] = {}
+
+    def __len__(self) -> int:
+        return sum(self._budget.values())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = finding.fingerprint
+            baseline._budget[fp] = baseline._budget.get(fp, 0) + 1
+            baseline._context[fp] = (finding.rule_id, finding.path)
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this pushlint reads version {_VERSION}"
+            )
+        baseline = cls()
+        for entry in payload.get("entries", []):
+            fp = entry["fingerprint"]
+            baseline._budget[fp] = baseline._budget.get(fp, 0) + int(
+                entry.get("count", 1)
+            )
+            baseline._context[fp] = (entry.get("rule", "?"), entry.get("path", "?"))
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = []
+        for fp in sorted(self._budget):
+            rule, file_path = self._context.get(fp, ("?", "?"))
+            entries.append(
+                {
+                    "fingerprint": fp,
+                    "rule": rule,
+                    "path": file_path,
+                    "count": self._budget[fp],
+                }
+            )
+        payload = {"version": _VERSION, "entries": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
+        """Partition findings into (still-active, number-baselined).
+
+        Each baseline entry absorbs at most ``count`` matching findings, so
+        *new* duplicates of an old finding still fail the gate.
+        """
+        remaining = Counter(self._budget)
+        active: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            if remaining[finding.fingerprint] > 0:
+                remaining[finding.fingerprint] -= 1
+                baselined += 1
+            else:
+                active.append(finding)
+        return active, baselined

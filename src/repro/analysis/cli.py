@@ -1,0 +1,152 @@
+"""The pushlint command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (or everything suppressed/baselined), 1 = findings at
+or above ``--fail-on``, 2 = usage error (bad rule id, broken baseline...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.finding import Severity
+from repro.analysis.reporters import format_human, format_json
+from repro.analysis.rules import rules_by_id, select_rules
+
+DEFAULT_BASELINE = "pushlint-baseline.json"
+
+
+def _split_ids(values: "List[str] | None") -> List[str]:
+    ids: List[str] = []
+    for value in values or []:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "pushlint: determinism & hygiene static analysis for the "
+            "PushAdMiner reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="info",
+        metavar="SEVERITY",
+        help="minimum severity that causes exit 1 (info|warning|error)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, rule_cls in sorted(rules_by_id().items()):
+        lines.append(f"{rule_id}  ({rule_cls.severity.label})")
+        lines.append(f"    {rule_cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        fail_on = Severity.parse(args.fail_on)
+        rules = select_rules(_split_ids(args.select), _split_ids(args.ignore))
+    except ValueError as exc:
+        print(f"pushlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    paths: List[Path] = list(args.paths)
+    if not paths:
+        default = Path("src/repro")
+        if not default.is_dir():
+            print(
+                "pushlint: error: no paths given and src/repro not found",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [default]
+    for path in paths:
+        if not path.exists():
+            print(f"pushlint: error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE)
+    try:
+        baseline = Baseline.load(baseline_path) if not args.write_baseline else Baseline()
+    except ValueError as exc:
+        print(f"pushlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    engine = AnalysisEngine(rules=rules, baseline=baseline)
+    result = engine.run(paths)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"pushlint: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    print(format_json(result) if args.format == "json" else format_human(result))
+
+    worst = result.max_severity()
+    if worst is not None and worst >= fail_on:
+        return 1
+    return 0

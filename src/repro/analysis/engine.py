@@ -1,0 +1,131 @@
+"""The pushlint engine: walk files, run rules, apply suppressions/baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules import Rule, default_rules
+from repro.analysis.source import ModuleSource, SourceError
+
+_SKIP_DIR_SUFFIXES = (".egg-info",)
+_SKIP_DIR_NAMES = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one engine run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+    rule_ids: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def max_severity(self) -> Optional[Severity]:
+        return max((f.severity for f in self.findings), default=None)
+
+    def counts_by_rule(self) -> List[Tuple[str, int]]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return sorted(counts.items())
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if _skipped(candidate):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(sorted(collected))
+
+
+def _skipped(path: Path) -> bool:
+    return any(
+        part in _SKIP_DIR_NAMES or part.endswith(_SKIP_DIR_SUFFIXES)
+        for part in path.parts
+    )
+
+
+class AnalysisEngine:
+    """Runs a set of rules over modules and files."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ):
+        self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
+        self.baseline = baseline or Baseline()
+
+    # ------------------------------------------------------------------
+    # Single-module checking (also the unit-test entry point)
+    # ------------------------------------------------------------------
+    def check_source(self, src: ModuleSource) -> Tuple[List[Finding], int]:
+        """All unsuppressed findings in one module, plus suppressed count."""
+        active: List[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            for finding in rule.check(src):
+                if src.suppressions.is_suppressed(finding.rule_id, finding.line):
+                    suppressed += 1
+                else:
+                    active.append(finding)
+        return active, suppressed
+
+    # ------------------------------------------------------------------
+    # Filesystem runs
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[Path]) -> AnalysisResult:
+        result = AnalysisResult(rule_ids=tuple(rule.id for rule in self.rules))
+        raw: List[Finding] = []
+        for file_path in iter_python_files(paths):
+            result.files_checked += 1
+            display = _display_path(file_path)
+            try:
+                src = ModuleSource.from_path(file_path, display_path=display)
+            except SourceError as exc:
+                raw.append(
+                    Finding(
+                        path=display,
+                        line=exc.line,
+                        column=1,
+                        rule_id="parse-error",
+                        severity=Severity.ERROR,
+                        message=exc.message,
+                    )
+                )
+                continue
+            findings, suppressed = self.check_source(src)
+            raw.extend(findings)
+            result.suppressed += suppressed
+        active, result.baselined = self.baseline.split(raw)
+        result.findings = sorted(active)
+        return result
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -1,0 +1,71 @@
+"""The unit of pushlint output: one finding at one source location."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; comparisons follow the integer value."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: Union[str, "Severity"]) -> "Severity":
+        if isinstance(text, Severity):
+            return text
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.label for s in cls)}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``source_line`` carries the stripped text of the offending line; the
+    baseline fingerprint hashes it instead of the line *number* so that
+    unrelated edits above a baselined finding do not un-baseline it.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number independent)."""
+        payload = f"{self.rule_id}|{self.path}|{self.source_line}"
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

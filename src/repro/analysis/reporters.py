@@ -1,0 +1,48 @@
+"""Render an AnalysisResult for humans or machines."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import AnalysisResult
+
+
+def format_human(result: AnalysisResult) -> str:
+    """The classic linter layout: one line per finding, then a summary."""
+    lines: List[str] = [
+        f"{f.location}: {f.severity.label} [{f.rule_id}] {f.message}"
+        for f in result.findings
+    ]
+    if lines:
+        lines.append("")
+        per_rule = ", ".join(f"{rule}={n}" for rule, n in result.counts_by_rule())
+        lines.append(
+            f"pushlint: {len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s) [{per_rule}]"
+        )
+    else:
+        lines.append(
+            f"pushlint: no findings in {result.files_checked} file(s) "
+            f"({len(result.rule_ids)} rules)"
+        )
+    if result.suppressed or result.baselined:
+        lines.append(
+            f"pushlint: {result.suppressed} suppressed inline, "
+            f"{result.baselined} baselined"
+        )
+    return "\n".join(lines)
+
+
+def format_json(result: AnalysisResult) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "files_checked": result.files_checked,
+            "rules": list(result.rule_ids),
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,68 @@
+"""public-api-annotations: public functions in repro.core carry full hints.
+
+``repro.core`` is the paper's contribution and the package other layers
+program against; its public surface must be self-describing so typing can
+be ratcheted up (see ``[tool.mypy]`` in pyproject.toml). Private helpers
+(leading underscore, including dunders) and nested closures are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, List, Tuple, Union
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules.base import Rule, module_in
+from repro.analysis.source import ModuleSource
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class PublicApiAnnotationsRule(Rule):
+    id: ClassVar[str] = "public-api-annotations"
+    severity: ClassVar[Severity] = Severity.WARNING
+    description: ClassVar[str] = (
+        "public functions/methods in repro.core must annotate every "
+        "parameter and the return type"
+    )
+
+    def __init__(self, target_prefixes: Tuple[str, ...] = ("repro.core",)):
+        self.target_prefixes = target_prefixes
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        if not module_in(src.module, self.target_prefixes):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            parent = src.parent(node)
+            if not isinstance(parent, (ast.Module, ast.ClassDef)):
+                continue  # nested helper, not public API
+            missing = self._missing_annotations(node, is_method=isinstance(parent, ast.ClassDef))
+            if missing:
+                yield self.finding(
+                    src,
+                    node,
+                    f"public function {node.name}() is missing annotations "
+                    f"for: {', '.join(missing)}",
+                )
+
+    def _missing_annotations(self, node: FunctionNode, is_method: bool) -> List[str]:
+        args = node.args
+        missing: List[str] = []
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if is_method and index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        missing.extend(a.arg for a in args.kwonlyargs if a.annotation is None)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return")
+        return missing

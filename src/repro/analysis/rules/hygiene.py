@@ -1,0 +1,80 @@
+"""General code-hygiene rules: no-mutable-default and no-bare-except.
+
+Not determinism bugs per se, but both classes of defect have bitten
+measurement pipelines: a shared mutable default accumulates state across
+calls (corrupting per-run results), and a bare ``except:`` swallows
+``KeyboardInterrupt``/``SystemExit`` and hides real failures behind
+"it ran fine".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, List
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import ModuleSource
+
+_MUTABLE_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+     "Counter", "deque"}
+)
+
+
+def _is_mutable_default(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(expr, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class NoMutableDefaultRule(Rule):
+    id: ClassVar[str] = "no-mutable-default"
+    severity: ClassVar[Severity] = Severity.WARNING
+    description: ClassVar[str] = (
+        "mutable default argument values ([], {}, set(), ...) are shared "
+        "across calls; default to None and build inside the function"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults: List[ast.expr] = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        src,
+                        default,
+                        f"mutable default value in {name}(); it is created "
+                        "once and shared across every call",
+                    )
+
+
+class NoBareExceptRule(Rule):
+    id: ClassVar[str] = "no-bare-except"
+    severity: ClassVar[Severity] = Severity.WARNING
+    description: ClassVar[str] = (
+        "bare `except:` catches SystemExit/KeyboardInterrupt and hides "
+        "failures; catch a concrete exception type"
+    )
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    src,
+                    node,
+                    "bare `except:` — name the exception type (at minimum "
+                    "`except Exception:`)",
+                )

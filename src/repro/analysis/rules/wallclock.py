@@ -1,0 +1,62 @@
+"""no-wallclock: the simulator must never read the host clock.
+
+Every timestamp in the reproduction is simulation time derived from the
+scenario seed; one ``time.time()`` call makes a run unreproducible. Clock
+access is allowed only inside ``repro.util`` (where an abstraction could
+legitimately wrap it) — everywhere else it is an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, Tuple
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules.base import ImportMap, Rule, module_in
+from repro.analysis.source import ModuleSource
+
+WALLCLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class NoWallclockRule(Rule):
+    id: ClassVar[str] = "no-wallclock"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "host-clock reads (time.time, datetime.now, ...) are forbidden "
+        "outside repro.util; use simulation time"
+    )
+
+    exempt_prefixes: Tuple[str, ...] = ("repro.util",)
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        if module_in(src.module, self.exempt_prefixes):
+            return
+        imports = ImportMap.from_tree(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = imports.resolve(node.func)
+            if qualname in WALLCLOCK_CALLS:
+                yield self.finding(
+                    src,
+                    node,
+                    f"call to {qualname}() reads the host clock; derive "
+                    "timestamps from simulation time instead",
+                )

@@ -1,0 +1,118 @@
+"""Parsed source modules: the input every rule consumes.
+
+A :class:`ModuleSource` bundles the AST with everything rules repeatedly
+need — the dotted module name (for layer/scope decisions), a parent map
+(for consumer-context checks), per-line source text (for fingerprints) and
+the file's inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.suppress import Suppressions
+
+
+class SourceError(Exception):
+    """Raised when a file cannot be read or parsed."""
+
+    def __init__(self, path: str, line: int, message: str):
+        super().__init__(f"{path}:{line}: {message}")
+        self.path = path
+        self.line = line
+        self.message = message
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, derived by walking up through ``__init__.py`` dirs.
+
+    >>> module_name_for(Path("src/repro/core/records.py"))  # doctest: +SKIP
+    'repro.core.records'
+    """
+    path = path.resolve()
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+class ModuleSource:
+    """One parsed Python file plus the metadata rules need."""
+
+    def __init__(
+        self,
+        text: str,
+        *,
+        path: str = "<string>",
+        module: str = "<string>",
+        is_package: bool = False,
+    ):
+        self.text = text
+        self.path = path
+        self.module = module
+        self.is_package = is_package
+        try:
+            self.tree: ast.Module = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            raise SourceError(path, exc.lineno or 0, f"syntax error: {exc.msg}") from exc
+        self.lines: List[str] = text.splitlines()
+        self.suppressions: Suppressions = Suppressions.from_source(text)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @classmethod
+    def from_path(cls, path: Path, *, display_path: Optional[str] = None) -> "ModuleSource":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise SourceError(str(path), 0, f"unreadable: {exc}") from exc
+        return cls(
+            text,
+            path=display_path or str(path),
+            module=module_name_for(path),
+            is_package=path.name == "__init__.py",
+        )
+
+    # ------------------------------------------------------------------
+    # Navigation helpers
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[child] = outer
+            self._parents = parents
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> List[ast.AST]:
+        """Parents from nearest to the module root (exclusive of ``node``)."""
+        chain: List[ast.AST] = []
+        current = self.parent(node)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_type_checking_block(self, node: ast.AST) -> bool:
+        """True if ``node`` sits under ``if TYPE_CHECKING:`` (typing-only)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.If) and _is_type_checking_test(ancestor.test):
+                return True
+        return False
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional
 
-from repro.core.records import WpnRecord
+if TYPE_CHECKING:  # avoid a core <-> blocklists import cycle at runtime
+    from repro.core.records import WpnRecord
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.campaigns import WpnCluster
 from repro.core.records import WpnRecord
 from repro.util.textproc import tokenize_text
-from repro.webenv.domains import SHADY_TLDS
+from repro.util.domains import SHADY_TLDS
 
 _SCAM_KEYWORDS = (
     "won", "win", "winner", "prize", "claim", "congratulations", "leaked",
@@ -316,7 +317,7 @@ CAMPAIGN_FEATURE_NAMES: Tuple[str, ...] = tuple(
 )
 
 
-def extract_campaign_features(cluster) -> List[float]:
+def extract_campaign_features(cluster: WpnCluster) -> List[float]:
     """Aggregate features for one WPN cluster (a candidate campaign).
 
     Mean of the per-message detector features plus structural signals the
@@ -349,13 +350,13 @@ class MaliciousCampaignDetector:
         self.model = LogisticRegression(l2=l2, iterations=iterations)
 
     @staticmethod
-    def _matrix(clusters) -> np.ndarray:
+    def _matrix(clusters: Sequence[WpnCluster]) -> np.ndarray:
         return np.array(
             [extract_campaign_features(c) for c in clusters], dtype=np.float64
         )
 
     def fit(
-        self, clusters, malicious_cluster_ids: Set[int]
+        self, clusters: Sequence[WpnCluster], malicious_cluster_ids: Set[int]
     ) -> "MaliciousCampaignDetector":
         X = self._matrix(clusters)
         y = np.array(
@@ -364,10 +365,12 @@ class MaliciousCampaignDetector:
         self.model.fit(X, y)
         return self
 
-    def score(self, clusters) -> np.ndarray:
+    def score(self, clusters: Sequence[WpnCluster]) -> np.ndarray:
         return self.model.predict_proba(self._matrix(clusters))
 
-    def evaluate(self, clusters, threshold: float = 0.5) -> DetectionMetrics:
+    def evaluate(
+        self, clusters: Sequence[WpnCluster], threshold: float = 0.5
+    ) -> DetectionMetrics:
         """Ground truth: a cluster with any truly-malicious member."""
         scores = self.score(clusters)
         predictions = scores >= threshold

@@ -15,7 +15,10 @@ plus the stage counters of Table 4 and the headline numbers of Table 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # crawler sits above core in the package DAG
+    from repro.crawler.harvest import WpnDataset
 
 import numpy as np
 
@@ -215,7 +218,7 @@ class PushAdMiner:
         self.months_elapsed = months_elapsed
 
     @classmethod
-    def for_dataset(cls, dataset, **overrides) -> "PushAdMiner":
+    def for_dataset(cls, dataset: WpnDataset, **overrides: Any) -> "PushAdMiner":
         """Build a miner whose blocklist parameters come from the scenario."""
         config = dataset.config
         params = dict(

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.webenv.domains import effective_second_level_domain
-from repro.webenv.urls import Url
+from repro.util.domains import effective_second_level_domain
+from repro.util.urls import Url
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,13 @@ benchmarks can print the same rows the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # crawler sits above core in the package DAG
+    import networkx as nx
+
+    from repro.crawler.harvest import WpnDataset
+    from repro.crawler.seeds import SeedDiscovery
 
 from repro.core.campaigns import WpnCluster, is_ad_campaign
 from repro.core.pipeline import PipelineResult
@@ -36,14 +42,14 @@ def render_table(
 # ----------------------------------------------------------------------
 # Table 1 / Table 2 (crawl seeding)
 # ----------------------------------------------------------------------
-def table1_rows(discovery) -> List[Tuple[str, int, int]]:
+def table1_rows(discovery: SeedDiscovery) -> List[Tuple[str, int, int]]:
     """(seed name, URLs found, NPRs) per Table 1 row, plus the total."""
     rows = [(r.name, r.urls_found, r.npr_count) for r in discovery.rows]
     rows.append(("Total", discovery.total_urls, discovery.total_nprs))
     return rows
 
 
-def table2_rows(dataset) -> List[Tuple[str, int]]:
+def table2_rows(dataset: WpnDataset) -> List[Tuple[str, int]]:
     """Alexa-rank bucket breakdown of the NPR domains."""
     popularity = dataset.ecosystem.popularity
     domains = sorted(dataset.discovery.npr_domains())
@@ -55,7 +61,7 @@ def table2_rows(dataset) -> List[Tuple[str, int]]:
 # ----------------------------------------------------------------------
 # Table 3 / Table 4 (analysis summary)
 # ----------------------------------------------------------------------
-def table3_summary(dataset, result: PipelineResult) -> Dict[str, object]:
+def table3_summary(dataset: WpnDataset, result: PipelineResult) -> Dict[str, object]:
     """The headline Table 3 numbers: collection + analysis combined."""
     crawl = dataset.summary()
     analysis = result.summary()
@@ -180,7 +186,7 @@ def fig4_cluster_examples(result: PipelineResult) -> List[ClusterExample]:
 # ----------------------------------------------------------------------
 # Figure 5 (meta-cluster graphs)
 # ----------------------------------------------------------------------
-def fig5_meta_graphs(result: PipelineResult, top: int = 2):
+def fig5_meta_graphs(result: PipelineResult, top: int = 2) -> List["nx.Graph"]:
     """The ``top`` largest suspicious meta clusters as networkx bipartite
     graphs (WPN-cluster nodes vs landing-domain nodes)."""
     import networkx as nx
@@ -301,7 +307,7 @@ def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) ->
     return "\n".join([head, sep, body])
 
 
-def summary_markdown(dataset, result: PipelineResult) -> str:
+def summary_markdown(dataset: WpnDataset, result: PipelineResult) -> str:
     """A compact Markdown report of the run: Tables 3/4 + Figure 6 data.
 
     Intended for dropping into issues/readmes; the CLI's

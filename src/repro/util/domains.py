@@ -1,0 +1,48 @@
+"""Domain-name primitives: eTLD+1 extraction and the TLD pools.
+
+The campaign-identification rule in the paper counts *effective second-level
+domains* (eTLD+1) of WPN sources, so we carry a small public-suffix table
+sufficient for every TLD the generator emits. These primitives live in
+:mod:`repro.util` so the analysis pipeline (:mod:`repro.core`) can use them
+without importing the simulated-web layer; :mod:`repro.webenv.domains`
+re-exports them alongside the generator-side :class:`DomainFactory`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+# Multi-label public suffixes the generator can emit. A real system would use
+# the full Mozilla PSL; the generator only ever produces hosts under these or
+# under single-label TLDs, so this table is complete *for generated data*.
+MULTI_LABEL_SUFFIXES: Set[str] = {
+    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.in", "co.jp",
+    "com.br", "com.cn", "com.tr", "co.za", "com.mx", "com.ar",
+}
+
+BENIGN_TLDS: List[str] = [
+    "com", "com", "com", "com", "net", "org", "io", "co", "us",
+    "co.uk", "de", "fr", "in", "com.au", "ca", "co.in", "com.br",
+]
+
+# TLD pool skewed toward the cheap registries malicious push campaigns favour.
+SHADY_TLDS: List[str] = [
+    "xyz", "club", "icu", "top", "site", "online", "live", "space",
+    "website", "fun", "pw", "ru", "cn", "info", "buzz", "rest", "cam",
+]
+
+
+def effective_second_level_domain(host: str) -> str:
+    """eTLD+1 of a host name.
+
+    >>> effective_second_level_domain("ads.news.example.co.uk")
+    'example.co.uk'
+    >>> effective_second_level_domain("push.example.com")
+    'example.com'
+    """
+    labels = host.lower().strip(".").split(".")
+    if len(labels) <= 2:
+        return ".".join(labels)
+    if ".".join(labels[-2:]) in MULTI_LABEL_SUFFIXES:
+        return ".".join(labels[-3:])
+    return ".".join(labels[-2:])

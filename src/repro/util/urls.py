@@ -1,0 +1,85 @@
+"""A small URL value type.
+
+We avoid ``urllib.parse`` round-trip surprises by keeping URLs as an explicit
+(scheme, host, path, query) tuple; the analysis code relies on the exact
+split between path and query that the paper's features use.
+
+This lives in :mod:`repro.util` (the bottom layer of the package DAG) so
+that both the analysis pipeline (:mod:`repro.core`) and the simulated web
+(:mod:`repro.webenv`) can share one URL type without a layering violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Url:
+    """An absolute URL: ``scheme://host/path?query``."""
+
+    host: str
+    path: str = "/"
+    query: str = ""
+    scheme: str = "https"
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("Url requires a non-empty host")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {self.path!r}")
+        if self.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported scheme: {self.scheme!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse an absolute http(s) URL string.
+
+        >>> Url.parse("https://a.example.com/x/y?z=1")
+        Url(host='a.example.com', path='/x/y', query='z=1', scheme='https')
+        """
+        if "://" not in text:
+            raise ValueError(f"not an absolute URL: {text!r}")
+        scheme, rest = text.split("://", 1)
+        if "/" in rest:
+            host, path_query = rest.split("/", 1)
+            path_query = "/" + path_query
+        else:
+            host, path_query = rest, "/"
+        if "?" in path_query:
+            path, query = path_query.split("?", 1)
+        else:
+            path, query = path_query, ""
+        return cls(host=host.lower(), path=path, query=query, scheme=scheme)
+
+    def __str__(self) -> str:
+        query = f"?{self.query}" if self.query else ""
+        return f"{self.scheme}://{self.host}{self.path}{query}"
+
+    @property
+    def is_secure(self) -> bool:
+        """Only HTTPS origins may register Service Workers."""
+        return self.scheme == "https"
+
+    @property
+    def origin(self) -> str:
+        return f"{self.scheme}://{self.host}"
+
+    def query_params(self) -> List[Tuple[str, str]]:
+        """Ordered (name, value) pairs from the query string."""
+        pairs = []
+        for chunk in self.query.split("&"):
+            if not chunk:
+                continue
+            if "=" in chunk:
+                name, value = chunk.split("=", 1)
+            else:
+                name, value = chunk, ""
+            pairs.append((name, value))
+        return pairs
+
+    def with_query(self, params: Dict[str, str]) -> "Url":
+        """A copy of this URL with the query string replaced."""
+        query = "&".join(f"{k}={v}" for k, v in params.items())
+        return Url(host=self.host, path=self.path, query=query, scheme=self.scheme)

@@ -1,32 +1,29 @@
-"""Domain-name generation and effective second-level domain extraction.
+"""Domain-name generation for the simulated web.
 
-The campaign-identification rule in the paper counts *effective second-level
-domains* (eTLD+1) of WPN sources, so we carry a small public-suffix table
-sufficient for every TLD the generator emits.
+The eTLD+1 primitives and TLD pools live in :mod:`repro.util.domains` (the
+bottom layer of the package DAG, shared with the analysis pipeline) and are
+re-exported here; this module adds the generator-side
+:class:`DomainFactory`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import Set
 
-# Multi-label public suffixes the generator can emit. A real system would use
-# the full Mozilla PSL; the generator only ever produces hosts under these or
-# under single-label TLDs, so this table is complete *for generated data*.
-MULTI_LABEL_SUFFIXES: Set[str] = {
-    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "co.in", "co.jp",
-    "com.br", "com.cn", "com.tr", "co.za", "com.mx", "com.ar",
-}
+from repro.util.domains import (
+    BENIGN_TLDS,
+    MULTI_LABEL_SUFFIXES,
+    SHADY_TLDS,
+    effective_second_level_domain,
+)
 
-BENIGN_TLDS: List[str] = [
-    "com", "com", "com", "com", "net", "org", "io", "co", "us",
-    "co.uk", "de", "fr", "in", "com.au", "ca", "co.in", "com.br",
-]
-
-# TLD pool skewed toward the cheap registries malicious push campaigns favour.
-SHADY_TLDS: List[str] = [
-    "xyz", "club", "icu", "top", "site", "online", "live", "space",
-    "website", "fun", "pw", "ru", "cn", "info", "buzz", "rest", "cam",
+__all__ = [
+    "BENIGN_TLDS",
+    "MULTI_LABEL_SUFFIXES",
+    "SHADY_TLDS",
+    "effective_second_level_domain",
+    "DomainFactory",
 ]
 
 _ADJECTIVES = [
@@ -51,22 +48,6 @@ _SHADY_WORDS = [
     "verify", "alert", "update", "clean", "fix", "boost", "track", "push",
     "click", "sweeps", "survey", "winner", "jackpot", "vault", "payout",
 ]
-
-
-def effective_second_level_domain(host: str) -> str:
-    """eTLD+1 of a host name.
-
-    >>> effective_second_level_domain("ads.news.example.co.uk")
-    'example.co.uk'
-    >>> effective_second_level_domain("push.example.com")
-    'example.com'
-    """
-    labels = host.lower().strip(".").split(".")
-    if len(labels) <= 2:
-        return ".".join(labels)
-    if ".".join(labels[-2:]) in MULTI_LABEL_SUFFIXES:
-        return ".".join(labels[-3:])
-    return ".".join(labels[-2:])
 
 
 class DomainFactory:

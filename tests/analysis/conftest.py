@@ -1,0 +1,23 @@
+"""Helpers for exercising pushlint rules on synthetic snippets."""
+
+import textwrap
+from typing import List
+
+import pytest
+
+from repro.analysis.finding import Finding
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import ModuleSource
+
+
+def check_snippet(
+    rule: Rule, code: str, module: str = "repro.fake.mod"
+) -> List[Finding]:
+    """Run one rule over one dedented snippet and return its findings."""
+    src = ModuleSource(textwrap.dedent(code), path=f"{module}.py", module=module)
+    return list(rule.check(src))
+
+
+@pytest.fixture
+def snippet_checker():
+    return check_snippet

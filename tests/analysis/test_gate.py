@@ -1,0 +1,55 @@
+"""The tier-1 gate: ``src/repro`` must be pushlint-clean, with no baseline.
+
+This is the machine-checked version of the DESIGN.md determinism claim:
+no wall-clock reads, no unseeded RNG, no network imports, a clean package
+DAG — across every module, forever. A finding here means a change
+reintroduced a nondeterminism (or hygiene) bug; fix it rather than
+baselining it.
+"""
+
+from pathlib import Path
+
+from repro.analysis import ALL_RULES, AnalysisEngine
+from repro.analysis.reporters import format_human
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_rule_catalog_is_complete():
+    assert len(ALL_RULES) >= 8
+    ids = {rule.id for rule in ALL_RULES}
+    assert ids >= {
+        "no-wallclock",
+        "no-unseeded-rng",
+        "no-network-imports",
+        "import-layering",
+        "no-mutable-default",
+        "no-bare-except",
+        "deterministic-emit",
+        "public-api-annotations",
+    }
+
+
+def test_src_repro_has_zero_findings():
+    engine = AnalysisEngine()  # all rules, NO baseline
+    result = engine.run([SRC])
+    assert result.files_checked > 50, "gate must actually see the codebase"
+    assert result.ok, "\n" + format_human(result)
+
+
+def test_no_baseline_file_is_checked_in():
+    # The gate above runs baseline-free, but also make sure nobody quietly
+    # parks debt in a committed baseline: it must stay absent or empty.
+    baseline = REPO_ROOT / "pushlint-baseline.json"
+    if baseline.exists():
+        from repro.analysis.baseline import Baseline
+
+        assert len(Baseline.load(baseline)) == 0
+
+
+def test_gate_runs_deterministically():
+    first = AnalysisEngine().run([SRC])
+    second = AnalysisEngine().run([SRC])
+    assert first.findings == second.findings
+    assert first.files_checked == second.files_checked

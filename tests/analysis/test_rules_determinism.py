@@ -1,0 +1,165 @@
+"""Unit tests for the determinism rules: wallclock, rng, network imports."""
+
+from repro.analysis.rules.network import NoNetworkImportsRule
+from repro.analysis.rules.rng import NoUnseededRngRule
+from repro.analysis.rules.wallclock import NoWallclockRule
+
+from tests.analysis.conftest import check_snippet
+
+
+class TestNoWallclock:
+    def test_flags_time_time(self):
+        findings = check_snippet(
+            NoWallclockRule(),
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["no-wallclock"]
+        assert "time.time" in findings[0].message
+
+    def test_flags_datetime_now_and_aliased_import(self):
+        findings = check_snippet(
+            NoWallclockRule(),
+            """
+            from datetime import datetime as dt
+            import time as t
+
+            def stamps():
+                return dt.now(), dt.utcnow(), t.monotonic()
+            """,
+        )
+        assert len(findings) == 3
+
+    def test_ignores_simulation_time_and_unrelated_attributes(self):
+        findings = check_snippet(
+            NoWallclockRule(),
+            """
+            def tick(clock):
+                # attribute chains not rooted in an import are fine
+                return clock.time() + clock.now()
+            """,
+        )
+        assert findings == []
+
+    def test_exempt_inside_repro_util(self):
+        findings = check_snippet(
+            NoWallclockRule(),
+            """
+            import time
+
+            def real_now():
+                return time.time()
+            """,
+            module="repro.util.clock",
+        )
+        assert findings == []
+
+    def test_prefix_exemption_is_not_a_string_prefix_match(self):
+        # repro.utility is NOT repro.util
+        findings = check_snippet(
+            NoWallclockRule(),
+            "import time\nx = time.time()\n",
+            module="repro.utility",
+        )
+        assert len(findings) == 1
+
+
+class TestNoUnseededRng:
+    def test_flags_global_random_functions(self):
+        findings = check_snippet(
+            NoUnseededRngRule(),
+            """
+            import random
+
+            def pick(items):
+                random.shuffle(items)
+                return random.choice(items)
+            """,
+        )
+        assert len(findings) == 2
+        assert all(f.rule_id == "no-unseeded-rng" for f in findings)
+
+    def test_flags_unseeded_constructors_but_not_seeded(self):
+        findings = check_snippet(
+            NoUnseededRngRule(),
+            """
+            import random
+            import numpy as np
+
+            bad_a = random.Random()
+            bad_b = np.random.default_rng()
+            good_a = random.Random(7)
+            good_b = np.random.default_rng(7)
+            good_c = np.random.SeedSequence([1, 2])
+            """,
+        )
+        assert len(findings) == 2
+        assert {f.line for f in findings} == {5, 6}
+
+    def test_flags_legacy_numpy_global(self):
+        findings = check_snippet(
+            NoUnseededRngRule(),
+            """
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n) + np.random.normal(size=n)
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_instance_streams_are_fine(self):
+        findings = check_snippet(
+            NoUnseededRngRule(),
+            """
+            def draw(rng):
+                return rng.choice([1, 2]) + rng.random()
+            """,
+        )
+        assert findings == []
+
+    def test_exempt_inside_repro_util(self):
+        findings = check_snippet(
+            NoUnseededRngRule(),
+            "import random\nx = random.Random()\n",
+            module="repro.util.rng",
+        )
+        assert findings == []
+
+
+class TestNoNetworkImports:
+    def test_flags_direct_and_from_imports(self):
+        findings = check_snippet(
+            NoNetworkImportsRule(),
+            """
+            import socket
+            import urllib.request
+            from urllib import request
+            from http.client import HTTPConnection
+            import requests
+            """,
+        )
+        assert len(findings) == 5
+        assert all(f.severity.label == "error" for f in findings)
+
+    def test_allows_offline_urllib_and_stdlib(self):
+        findings = check_snippet(
+            NoNetworkImportsRule(),
+            """
+            import hashlib
+            import urllib.parse
+            from urllib.parse import urlsplit
+            import json
+            """,
+        )
+        assert findings == []
+
+    def test_no_module_exemption_not_even_util(self):
+        findings = check_snippet(
+            NoNetworkImportsRule(), "import socket\n", module="repro.util.net"
+        )
+        assert len(findings) == 1

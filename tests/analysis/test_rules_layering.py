@@ -1,0 +1,106 @@
+"""Unit tests for the import-layering rule (the package DAG)."""
+
+from repro.analysis.rules.layering import ALLOWED_IMPORTS, ImportLayeringRule
+
+from tests.analysis.conftest import check_snippet
+
+
+def check(code, module):
+    return check_snippet(ImportLayeringRule(), code, module=module)
+
+
+class TestImportLayering:
+    def test_core_must_not_import_simulated_web(self):
+        for forbidden in ("webenv", "browser", "crawler"):
+            findings = check(
+                f"from repro.{forbidden} import anything\n",
+                module="repro.core.records",
+            )
+            assert len(findings) == 1, forbidden
+            assert f"repro.{forbidden}" in findings[0].message
+
+    def test_core_may_import_util_and_blocklists(self):
+        findings = check(
+            """
+            from repro.util.domains import effective_second_level_domain
+            from repro.blocklists.base import UrlTruth
+            from repro.core.records import WpnRecord
+            """,
+            module="repro.core.pipeline",
+        )
+        assert findings == []
+
+    def test_util_imports_nothing_from_repro(self):
+        findings = check(
+            "from repro.core import records\n", module="repro.util.helpers"
+        )
+        assert len(findings) == 1
+        # ... but util importing util is fine.
+        assert check("from repro.util.rng import RngFactory\n", module="repro.util") == []
+
+    def test_blocklists_must_not_import_core_at_runtime(self):
+        findings = check(
+            "from repro.core.records import WpnRecord\n",
+            module="repro.blocklists.base",
+        )
+        assert len(findings) == 1
+
+    def test_type_checking_imports_are_exempt(self):
+        findings = check(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.records import WpnRecord
+            """,
+            module="repro.blocklists.base",
+        )
+        assert findings == []
+
+    def test_relative_imports_resolve_to_the_same_package(self):
+        assert check("from . import records\n", module="repro.core.pipeline") == []
+        assert check("from .records import WpnRecord\n", module="repro.core.pipeline") == []
+
+    def test_relative_import_reaching_the_root_is_flagged(self):
+        findings = check("from .. import io\n", module="repro.util.helpers")
+        assert len(findings) == 1
+
+    def test_packages_must_not_import_toplevel_glue(self):
+        findings = check("import repro.cli\n", module="repro.core.report")
+        assert len(findings) == 1
+        assert "glue" in findings[0].message
+
+    def test_toplevel_modules_are_unconstrained(self):
+        findings = check(
+            """
+            from repro.core import PushAdMiner
+            from repro.crawler import run_crawl
+            import repro.viz
+            """,
+            module="repro.cli",
+        )
+        assert findings == []
+
+    def test_non_repro_imports_are_ignored(self):
+        findings = check(
+            "import numpy\nimport json\nfrom scipy import sparse\n",
+            module="repro.util.stats",
+        )
+        assert findings == []
+
+    def test_dag_is_acyclic(self):
+        # The configured layering must itself be a DAG, or the rule is
+        # enforcing something unsatisfiable.
+        state = {}
+
+        def visit(package):
+            if state.get(package) == "done":
+                return
+            assert state.get(package) != "visiting", f"cycle through {package}"
+            state[package] = "visiting"
+            for dep in ALLOWED_IMPORTS[package]:
+                visit(dep)
+            state[package] = "done"
+
+        for package in ALLOWED_IMPORTS:
+            visit(package)

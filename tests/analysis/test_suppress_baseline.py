@@ -1,0 +1,180 @@
+"""Suppression directives, baseline budgets, and engine integration."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisEngine, iter_python_files
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules.hygiene import NoBareExceptRule
+from repro.analysis.rules.wallclock import NoWallclockRule
+from repro.analysis.source import ModuleSource
+from repro.analysis.suppress import Suppressions
+
+
+def make_source(code, module="repro.fake.mod"):
+    return ModuleSource(textwrap.dedent(code), path=f"{module}.py", module=module)
+
+
+class TestSuppressions:
+    def test_line_directive_suppresses_named_rule(self):
+        src = make_source(
+            """
+            import time
+
+            x = time.time()  # pushlint: disable=no-wallclock
+            y = time.time()
+            """
+        )
+        engine = AnalysisEngine(rules=[NoWallclockRule()])
+        findings, suppressed = engine.check_source(src)
+        assert suppressed == 1
+        assert [f.line for f in findings] == [5]
+
+    def test_line_directive_without_rules_suppresses_everything(self):
+        src = make_source("import time\nx = time.time()  # pushlint: disable\n")
+        findings, suppressed = AnalysisEngine(rules=[NoWallclockRule()]).check_source(src)
+        assert findings == [] and suppressed == 1
+
+    def test_directive_for_other_rule_does_not_suppress(self):
+        src = make_source(
+            "import time\nx = time.time()  # pushlint: disable=no-bare-except\n"
+        )
+        findings, suppressed = AnalysisEngine(rules=[NoWallclockRule()]).check_source(src)
+        assert len(findings) == 1 and suppressed == 0
+
+    def test_file_directive(self):
+        src = make_source(
+            """
+            # pushlint: disable-file=no-wallclock
+            import time
+
+            x = time.time()
+            y = time.time()
+            """
+        )
+        findings, suppressed = AnalysisEngine(rules=[NoWallclockRule()]).check_source(src)
+        assert findings == [] and suppressed == 2
+
+    def test_directive_inside_string_literal_is_inert(self):
+        src = make_source(
+            """
+            import time
+
+            doc = "example: # pushlint: disable=no-wallclock"
+            x = time.time()
+            """
+        )
+        findings, _ = AnalysisEngine(rules=[NoWallclockRule()]).check_source(src)
+        assert len(findings) == 1
+
+    def test_parse_of_multiple_rules(self):
+        supp = Suppressions.from_source(
+            "x = 1  # pushlint: disable=rule-a, rule-b\n"
+        )
+        assert supp.is_suppressed("rule-a", 1)
+        assert supp.is_suppressed("rule-b", 1)
+        assert not supp.is_suppressed("rule-c", 1)
+        assert not supp.is_suppressed("rule-a", 2)
+
+
+def finding(rule="r", path="p.py", line=1, text="x = 1"):
+    return Finding(
+        path=path,
+        line=line,
+        column=1,
+        rule_id=rule,
+        severity=Severity.ERROR,
+        message="m",
+        source_line=text,
+    )
+
+
+class TestBaseline:
+    def test_roundtrip_and_budget(self, tmp_path):
+        f1 = finding(line=3, text="a = 1")
+        f2 = finding(line=9, text="b = 2")
+        baseline = Baseline.from_findings([f1, f2])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+
+        # Same findings at *different line numbers* still match...
+        moved = [finding(line=30, text="a = 1"), finding(line=90, text="b = 2")]
+        active, baselined = loaded.split(moved)
+        assert active == [] and baselined == 2
+
+    def test_budget_does_not_absorb_new_duplicates(self, tmp_path):
+        f1 = finding(text="a = 1")
+        baseline = Baseline.from_findings([f1])
+        dupes = [finding(line=1, text="a = 1"), finding(line=2, text="a = 1")]
+        active, baselined = baseline.split(dupes)
+        assert baselined == 1
+        assert len(active) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+        active, baselined = baseline.split([finding()])
+        assert len(active) == 1 and baselined == 0
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestEngineFiles:
+    def test_run_over_tree_applies_baseline_and_reports_counts(self, tmp_path):
+        pkg = tmp_path / "repro" / "demo"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("import time\nx = time.time()\n")
+
+        engine = AnalysisEngine(rules=[NoWallclockRule()])
+        result = engine.run([tmp_path / "repro"])
+        assert result.files_checked == 3
+        assert len(result.findings) == 1
+        assert not result.ok
+
+        baseline = Baseline.from_findings(result.findings)
+        rerun = AnalysisEngine(rules=[NoWallclockRule()], baseline=baseline).run(
+            [tmp_path / "repro"]
+        )
+        assert rerun.ok
+        assert rerun.baselined == 1
+
+    def test_syntax_errors_become_parse_error_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = AnalysisEngine(rules=[NoBareExceptRule()]).run([bad])
+        assert [f.rule_id for f in result.findings] == ["parse-error"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_iter_python_files_skips_caches_and_dedups(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("")
+        (tmp_path / "x.egg-info").mkdir()
+        (tmp_path / "x.egg-info" / "junk.py").write_text("")
+        (tmp_path / "a.py").write_text("")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert files == [tmp_path / "a.py"]
+
+    def test_findings_sorted_deterministically(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nx = time.time()\n")
+        (tmp_path / "a.py").write_text("import time\ny = time.time()\n")
+        result = AnalysisEngine(rules=[NoWallclockRule()]).run([tmp_path])
+        assert [f.path for f in result.findings] == sorted(
+            f.path for f in result.findings
+        )

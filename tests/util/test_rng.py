@@ -1,5 +1,6 @@
 """Tests for the deterministic named RNG streams."""
 
+import numpy as np
 import pytest
 
 from repro.util.rng import RngFactory, weighted_choice
@@ -45,6 +46,79 @@ class TestRngFactory:
     def test_rejects_non_int_seed(self):
         with pytest.raises(TypeError):
             RngFactory(seed="7")
+
+
+class TestStreamIndependence:
+    """Named streams are independent: no draw on one stream moves another."""
+
+    def test_interleaving_does_not_perturb_python_streams(self):
+        undisturbed = RngFactory(11).stream("a").random()
+        rngs = RngFactory(11)
+        a = rngs.stream("a")
+        rngs.stream("b").random()  # consume from b before touching a
+        assert a.random() == undisturbed
+
+    def test_streams_are_statistically_distinct(self):
+        rngs = RngFactory(11)
+        a, b = rngs.stream("a"), rngs.stream("b")
+        xs = [a.random() for _ in range(200)]
+        ys = [b.random() for _ in range(200)]
+        matches = sum(1 for x, y in zip(xs, ys) if abs(x - y) < 1e-12)
+        assert matches == 0
+
+    def test_numpy_streams_independent_of_each_other(self):
+        rngs = RngFactory(13)
+        expected = rngs.numpy_stream("n1").random(8).tolist()
+        n1 = rngs.numpy_stream("n1")
+        rngs.numpy_stream("n2").random(1000)
+        assert n1.random(8).tolist() == expected
+
+
+class TestStabilityAcrossRuns:
+    """Same seed -> bit-identical streams in every process, forever.
+
+    These golden values pin the derivation (blake2b-based, never the salted
+    built-in ``hash``). If they change, every recorded experiment in
+    EXPERIMENTS.md silently stops being reproducible — do not update them
+    without bumping the scenario format.
+    """
+
+    def test_python_stream_golden_values(self):
+        stream = RngFactory(seed=0).stream("golden")
+        got = [round(stream.random(), 12) for _ in range(3)]
+        assert got == [0.363376793352, 0.105436121724, 0.088609824029]
+
+    def test_numpy_stream_golden_values(self):
+        stream = RngFactory(seed=0).numpy_stream("golden")
+        got = [round(x, 12) for x in stream.random(3).tolist()]
+        assert got == [0.610067550397, 0.926556196777, 0.217137016723]
+
+    def test_child_factory_golden_value(self):
+        stream = RngFactory(seed=0).child("crawl").stream("golden")
+        assert round(stream.random(), 12) == 0.817003501896
+
+
+class TestGlobalNumpyStateUntouched:
+    """numpy_stream must never read or write numpy's global legacy RNG."""
+
+    def test_numpy_stream_does_not_advance_global_state(self):
+        before = np.random.get_state()[1].tolist()
+        rngs = RngFactory(7)
+        rngs.numpy_stream("x").random(1000)
+        rngs.numpy_stream("y").standard_normal(100)
+        after = np.random.get_state()[1].tolist()
+        assert before == after
+
+    def test_numpy_stream_is_not_influenced_by_global_seed(self):
+        state = np.random.get_state()
+        try:
+            np.random.seed(1)
+            a = RngFactory(7).numpy_stream("x").random(4).tolist()
+            np.random.seed(2)
+            b = RngFactory(7).numpy_stream("x").random(4).tolist()
+        finally:
+            np.random.set_state(state)
+        assert a == b
 
 
 class TestWeightedChoice:
