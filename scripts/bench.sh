@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Pipeline benchmark: runs crawl + PushAdMiner under a PerfClock tracer and
+# writes BENCH_pipeline.json (per-stage wall time, peak matrix bytes,
+# record/cluster counters).
+# Usage: scripts/bench.sh [--smoke] [--seed N] [--scale F] [--output PATH]
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+exec python -m repro.bench "$@"

@@ -23,8 +23,13 @@ else
     echo "mypy not installed; skipping (config lives in pyproject.toml)"
 fi
 
-step "tier-1 pytest"
-python -m pytest -x -q "$@" || failures=$((failures + 1))
+step "tier-1 pytest (DeprecationWarning is an error)"
+python -m pytest -x -q -W error::DeprecationWarning "$@" || failures=$((failures + 1))
+
+step "bench smoke (scripts/bench.sh --smoke)"
+bench_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+scripts/bench.sh --smoke --output "$bench_out" || failures=$((failures + 1))
+rm -f "$bench_out"
 
 echo
 if [ "$failures" -ne 0 ]; then

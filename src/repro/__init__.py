@@ -16,13 +16,14 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.obs import NullClock, PerfClock, Tracer
 from repro.webenv.scenario import ScenarioConfig, paper_scenario
 from repro.webenv.generator import WebEcosystem, generate_ecosystem
 from repro.crawler.harvest import WpnDataset, run_full_crawl
-from repro.core.pipeline import PipelineResult, PushAdMiner
+from repro.core.pipeline import MinerConfig, PipelineResult, PushAdMiner
 from repro.core.records import WpnRecord, WpnTruth
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ScenarioConfig",
@@ -31,8 +32,12 @@ __all__ = [
     "generate_ecosystem",
     "WpnDataset",
     "run_full_crawl",
+    "MinerConfig",
     "PipelineResult",
     "PushAdMiner",
+    "NullClock",
+    "PerfClock",
+    "Tracer",
     "WpnRecord",
     "WpnTruth",
     "__version__",

@@ -20,7 +20,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 _SEPARATOR_CLASS = r"[/:?=&.\-]"
 
@@ -56,8 +56,8 @@ class FilterRule:
 
 def _is_third_party(url: str, source_domain: str) -> bool:
     """True when the request crosses the first-party eTLD+1 boundary."""
-    from repro.webenv.domains import effective_second_level_domain
-    from repro.webenv.urls import Url
+    from repro.util.domains import effective_second_level_domain
+    from repro.util.urls import Url
 
     try:
         request_host = Url.parse(url).host

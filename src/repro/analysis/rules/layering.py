@@ -4,8 +4,9 @@ The layer order, bottom to top (each package may import only packages
 strictly below it):
 
     util  <  analysis
-    util  <  webenv  <  push  <  browser  <  adblock
-    util  <  blocklists  <  core
+    util  <  obs
+    util, obs  <  webenv  <  push  <  browser  <  adblock
+    util, obs  <  blocklists  <  core
     core, browser, push, webenv  <  crawler  <  experiments
 
 ``repro.util`` imports nothing from repro; ``repro.core`` never sees the
@@ -29,6 +30,7 @@ _BELOW_EXPERIMENTS = frozenset(
     {
         "util",
         "analysis",
+        "obs",
         "webenv",
         "push",
         "browser",
@@ -43,13 +45,14 @@ _BELOW_EXPERIMENTS = frozenset(
 ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "util": frozenset(),
     "analysis": frozenset(),
-    "webenv": frozenset({"util"}),
-    "push": frozenset({"util", "webenv"}),
-    "browser": frozenset({"util", "webenv", "push"}),
-    "adblock": frozenset({"util", "webenv", "push", "browser"}),
-    "blocklists": frozenset({"util"}),
-    "core": frozenset({"util", "blocklists"}),
-    "crawler": frozenset({"util", "webenv", "push", "browser", "core"}),
+    "obs": frozenset({"util"}),
+    "webenv": frozenset({"util", "obs"}),
+    "push": frozenset({"util", "obs", "webenv"}),
+    "browser": frozenset({"util", "obs", "webenv", "push"}),
+    "adblock": frozenset({"util", "obs", "webenv", "push", "browser"}),
+    "blocklists": frozenset({"util", "obs"}),
+    "core": frozenset({"util", "obs", "blocklists"}),
+    "crawler": frozenset({"util", "obs", "webenv", "push", "browser", "core"}),
     "experiments": _BELOW_EXPERIMENTS,
 }
 

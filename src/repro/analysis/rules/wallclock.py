@@ -2,8 +2,9 @@
 
 Every timestamp in the reproduction is simulation time derived from the
 scenario seed; one ``time.time()`` call makes a run unreproducible. Clock
-access is allowed only inside ``repro.util`` (where an abstraction could
-legitimately wrap it) — everywhere else it is an error.
+access is allowed only inside ``repro.obs.clock`` — the injectable
+``Clock`` abstraction whose ``PerfClock`` is the codebase's single
+sanctioned wall-clock read — everywhere else it is an error.
 """
 
 from __future__ import annotations
@@ -40,10 +41,10 @@ class NoWallclockRule(Rule):
     severity: ClassVar[Severity] = Severity.ERROR
     description: ClassVar[str] = (
         "host-clock reads (time.time, datetime.now, ...) are forbidden "
-        "outside repro.util; use simulation time"
+        "outside repro.obs.clock; use simulation time or an injected Clock"
     )
 
-    exempt_prefixes: Tuple[str, ...] = ("repro.util",)
+    exempt_prefixes: Tuple[str, ...] = ("repro.obs.clock",)
 
     def check(self, src: ModuleSource) -> Iterator[Finding]:
         if module_in(src.module, self.exempt_prefixes):

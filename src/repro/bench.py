@@ -1,0 +1,114 @@
+"""Pipeline benchmark harness: ``python -m repro.bench``.
+
+Runs the full crawl + PushAdMiner pipeline under a :class:`~repro.obs.PerfClock`
+tracer and writes ``BENCH_pipeline.json``: per-stage wall time, peak matrix
+footprint, and the record/cluster counters each stage reported.  The same
+seeded run under the default :class:`~repro.obs.NullClock` stays bit-identical;
+this harness is the one place wall-clock readings enter a committed artifact.
+
+``--smoke`` runs a tiny scenario (for ``scripts/check.sh``) just to prove the
+harness end-to-end; the default scale matches ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.core.pipeline import PushAdMiner
+from repro.crawler.harvest import run_full_crawl
+from repro.obs import PerfClock, Span, Tracer
+from repro.webenv.scenario import paper_scenario
+
+BENCH_SCHEMA = "repro-bench/1"
+DEFAULT_SCALE = 0.125
+SMOKE_SCALE = 0.02
+
+
+def _stage_rows(parent: Span) -> List[Dict[str, Any]]:
+    return [
+        {
+            "stage": child.name,
+            "wall_s": round(child.duration, 6),
+            "metrics": {k: child.metrics[k] for k in sorted(child.metrics)},
+        }
+        for child in parent.children
+    ]
+
+
+def _peak_matrix_bytes(tracer: Tracer) -> int:
+    """Largest single in-memory matrix any stage reported."""
+    peak = 0
+    for span in tracer.root.walk():
+        for name, value in span.metrics.items():
+            if name.endswith("_bytes"):
+                peak = max(peak, int(value))
+    return peak
+
+
+def run_benchmark(seed: int, scale: float) -> Dict[str, Any]:
+    """One crawl + pipeline run; returns the bench report payload."""
+    tracer = Tracer(clock=PerfClock())
+    config = paper_scenario(seed=seed, scale=scale)
+    dataset = run_full_crawl(config=config, tracer=tracer)
+    result = PushAdMiner.for_dataset(dataset, tracer=tracer).run(
+        dataset.valid_records
+    )
+    tracer.finish()
+
+    crawl_span = tracer.root.find("crawl")
+    pipeline_span = tracer.root.find("pipeline")
+    assert crawl_span is not None and pipeline_span is not None
+    return {
+        "schema": BENCH_SCHEMA,
+        "clock": tracer.clock.name,
+        "scenario": {"seed": seed, "scale": scale},
+        "crawl": {
+            "wall_s": round(crawl_span.duration, 6),
+            "records": int(crawl_span.metrics.get("records", 0)),
+            "valid_records": int(crawl_span.metrics.get("valid_records", 0)),
+            "stages": _stage_rows(crawl_span),
+        },
+        "pipeline": {
+            "wall_s": round(pipeline_span.duration, 6),
+            "stages": _stage_rows(pipeline_span),
+        },
+        "peak_matrix_bytes": _peak_matrix_bytes(tracer),
+        "summary": result.summary(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description="pipeline benchmark harness"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument("--scale", type=float, default=None,
+                        help=f"URL population fraction (default {DEFAULT_SCALE})")
+    parser.add_argument("--output", default="BENCH_pipeline.json",
+                        help="report path (default BENCH_pipeline.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"tiny run (scale {SMOKE_SCALE}) to exercise "
+                             "the harness in CI")
+    args = parser.parse_args(argv)
+
+    scale = args.scale
+    if scale is None:
+        scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+
+    payload = run_benchmark(seed=args.seed, scale=scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    total = payload["crawl"]["wall_s"] + payload["pipeline"]["wall_s"]
+    print(f"wrote {args.output} "
+          f"(crawl {payload['crawl']['wall_s']:.2f}s + "
+          f"pipeline {payload['pipeline']['wall_s']:.2f}s = {total:.2f}s, "
+          f"peak matrix {payload['peak_matrix_bytes']:,} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ from typing import List, Optional
 
 from repro.browser.events import EventKind, EventLog
 from repro.webenv.landing import RedirectChain
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 @dataclass(frozen=True)

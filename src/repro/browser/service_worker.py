@@ -17,7 +17,7 @@ from typing import List, Optional
 from repro.browser.events import EventKind, EventLog
 from repro.browser.network import NetworkRequest
 from repro.push.fcm import PushDelivery
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 #: Share of publisher embeds still running a legacy SDK revision.
 LEGACY_SDK_RATE = 0.03

@@ -19,40 +19,76 @@ from typing import List, Optional
 from repro import PushAdMiner, paper_scenario, run_full_crawl
 from repro.core import report
 from repro.core.detector import MaliciousWpnDetector, train_test_split
+from repro.core.pipeline import MinerConfig
 from repro.io import load_records, save_records
+from repro.obs import Tracer, format_trace, trace_to_json
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="master seed")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="fraction of the paper's URL population")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree after the run")
+    parser.add_argument("--trace-json", metavar="PATH",
+                        help="write the trace as deterministic JSON to PATH")
 
 
-def _crawl_dataset(args):
+def _make_tracer(args) -> Optional[Tracer]:
+    """A tracer when tracing was requested, else None.
+
+    The default NullClock keeps ``--trace-json`` output byte-identical
+    across invocations of the same seeded run.
+    """
+    if args.trace or args.trace_json:
+        return Tracer()
+    return None
+
+
+def _emit_trace(tracer: Optional[Tracer], args) -> None:
+    if tracer is None:
+        return
+    tracer.finish()
+    if args.trace:
+        print("\n" + format_trace(tracer))
+    if args.trace_json:
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            handle.write(trace_to_json(tracer))
+        print(f"wrote trace to {args.trace_json}")
+
+
+def _crawl_dataset(args, tracer: Optional[Tracer] = None):
     config = paper_scenario(seed=args.seed, scale=args.scale)
+    if tracer is not None:
+        return run_full_crawl(config=config, tracer=tracer)
     return run_full_crawl(config=config)
 
 
 def cmd_crawl(args) -> int:
-    dataset = _crawl_dataset(args)
+    tracer = _make_tracer(args)
+    dataset = _crawl_dataset(args, tracer)
     summary = dataset.summary()
     print(report.render_table(["metric", "value"], list(summary.items())))
     if args.output:
         written = save_records(dataset.records, args.output)
         print(f"\nwrote {written} records to {args.output}")
+    _emit_trace(tracer, args)
     return 0
 
 
 def cmd_analyze(args) -> int:
+    tracer = _make_tracer(args)
     if args.records:
         corpus = load_records(args.records)
-        miner = PushAdMiner(seed=args.seed)
+        miner = PushAdMiner(config=MinerConfig(seed=args.seed), tracer=tracer)
         result = miner.run([r for r in corpus if r.valid])
         dataset = None
     else:
-        dataset = _crawl_dataset(args)
+        dataset = _crawl_dataset(args, tracer)
         corpus = dataset.records
-        result = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+        result = PushAdMiner.for_dataset(dataset, tracer=tracer).run(
+            dataset.valid_records
+        )
 
     print("Table 3 — summary")
     summary = result.summary()
@@ -114,6 +150,7 @@ def cmd_analyze(args) -> int:
             summary_markdown(source, result), encoding="utf-8"
         )
         print(f"wrote markdown summary to {args.markdown}")
+    _emit_trace(tracer, args)
     return 0
 
 
@@ -148,7 +185,8 @@ def cmd_experiments(args) -> int:
         run_revisit_experiment,
     )
 
-    dataset = _crawl_dataset(args)
+    tracer = _make_tracer(args)
+    dataset = _crawl_dataset(args, tracer)
 
     pilot = run_latency_pilot(dataset.ecosystem, n_sites=500)
     print(f"pilot: {pilot.within_15min_pct}% of first WPNs within 15 min "
@@ -174,12 +212,16 @@ def cmd_experiments(args) -> int:
     print(f"quiet UI: {quiet.suppressed_now}/{quiet.visited_sites} prompts "
           f"suppressed today; {quiet.suppressed_if_trained} if fully "
           f"trained  [paper: 0/300]")
+    _emit_trace(tracer, args)
     return 0
 
 
 def cmd_detect(args) -> int:
-    dataset = _crawl_dataset(args)
-    result = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+    tracer = _make_tracer(args)
+    dataset = _crawl_dataset(args, tracer)
+    result = PushAdMiner.for_dataset(dataset, tracer=tracer).run(
+        dataset.valid_records
+    )
     malicious = (
         result.labeling.confirmed_malicious_ids
         | result.suspicion.confirmed_malicious_ids
@@ -199,6 +241,7 @@ def cmd_detect(args) -> int:
     )
     for name, weight in weights[:8]:
         print(f"  {name:28s} {weight:+.3f}")
+    _emit_trace(tracer, args)
     return 0
 
 

@@ -13,14 +13,19 @@ from repro.core.features import WpnFeatures, extract_features
 from repro.core.textsim import SoftCosineModel
 from repro.core.urlsim import url_path_distance_matrix
 from repro.core.distance import DistanceMatrices, compute_distances
-from repro.core.clustering import AgglomerativeClusterer, Linkage
+from repro.core.clustering import (
+    AgglomerativeClusterer,
+    CutSelection,
+    Linkage,
+    evaluate_cuts,
+)
 from repro.core.silhouette import average_silhouette
 from repro.core.campaigns import WpnCluster, build_clusters, is_ad_campaign
 from repro.core.labeling import LabelingResult, label_malicious_clusters
 from repro.core.metacluster import MetaCluster, build_meta_clusters
 from repro.core.suspicious import SuspicionResult, find_suspicious
 from repro.core.verification import ManualVerificationOracle
-from repro.core.pipeline import PushAdMiner, PipelineResult
+from repro.core.pipeline import MinerConfig, PushAdMiner, PipelineResult
 
 __all__ = [
     "WpnRecord",
@@ -32,7 +37,9 @@ __all__ = [
     "DistanceMatrices",
     "compute_distances",
     "AgglomerativeClusterer",
+    "CutSelection",
     "Linkage",
+    "evaluate_cuts",
     "average_silhouette",
     "WpnCluster",
     "build_clusters",
@@ -44,6 +51,7 @@ __all__ = [
     "SuspicionResult",
     "find_suspicious",
     "ManualVerificationOracle",
+    "MinerConfig",
     "PushAdMiner",
     "PipelineResult",
 ]

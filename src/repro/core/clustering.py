@@ -175,14 +175,24 @@ class AgglomerativeClusterer:
         return merged
 
 
-def select_cut(
+@dataclass(frozen=True)
+class CutSelection:
+    """Outcome of silhouette cut selection, with evaluation accounting."""
+
+    threshold: float
+    labels: np.ndarray
+    score: float
+    n_candidates: int
+
+
+def evaluate_cuts(
     linkage: Linkage,
     distances: np.ndarray,
     candidates: Optional[Sequence[float]] = None,
     max_candidates: int = 24,
     min_cluster_fraction: float = 0.33,
     max_threshold: float = 0.25,
-) -> Tuple[float, np.ndarray, float]:
+) -> CutSelection:
     """Pick the dendrogram cut with the highest average silhouette.
 
     Candidate thresholds default to quantiles of the merge heights,
@@ -192,11 +202,12 @@ def select_cut(
     still means near-identical messages). The paper tunes its clustering
     to yield tight clusters (8,780 clusters over 12,262 WPNs) precisely
     because the global silhouette optimum sits at coarse cuts that mix ads
-    from unrelated campaigns. Returns ``(threshold, labels, score)``.
+    from unrelated campaigns. The returned :class:`CutSelection` also
+    records how many candidate cuts were silhouette-scored.
     """
     heights = linkage.heights()
     if heights.size == 0:
-        return 0.0, linkage.cut(0.0), 0.0
+        return CutSelection(0.0, linkage.cut(0.0), 0.0, 0)
     if candidates is None:
         positive = heights[heights > 1e-12]
         base = positive if positive.size else heights
@@ -220,8 +231,28 @@ def select_cut(
             best = (threshold, labels, score)
     if best[1] is None:
         threshold = float(np.median(heights))
-        return threshold, linkage.cut(threshold), -1.0
-    return best
+        return CutSelection(threshold, linkage.cut(threshold), -1.0, len(candidates))
+    return CutSelection(best[0], best[1], best[2], len(candidates))
+
+
+def select_cut(
+    linkage: Linkage,
+    distances: np.ndarray,
+    candidates: Optional[Sequence[float]] = None,
+    max_candidates: int = 24,
+    min_cluster_fraction: float = 0.33,
+    max_threshold: float = 0.25,
+) -> Tuple[float, np.ndarray, float]:
+    """Tuple form of :func:`evaluate_cuts`: ``(threshold, labels, score)``."""
+    selection = evaluate_cuts(
+        linkage,
+        distances,
+        candidates=candidates,
+        max_candidates=max_candidates,
+        min_cluster_fraction=min_cluster_fraction,
+        max_threshold=max_threshold,
+    )
+    return selection.threshold, selection.labels, selection.score
 
 
 def cluster_records(

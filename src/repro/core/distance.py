@@ -41,6 +41,12 @@ def compute_distances(
 
     The total distance is the unweighted mean of the soft-cosine text
     distance and the URL-path Jaccard distance, exactly as in the paper.
+
+    ``text_model`` contract: a *fitted* model is used as-is; an *unfitted*
+    model contributes only its hyperparameters — an internal
+    :meth:`~repro.core.textsim.SoftCosineModel.clone` is fitted on this
+    corpus, and the caller's object is never mutated.  (Earlier versions
+    fitted the caller's model in place as a hidden side effect.)
     """
     if features is None:
         features = extract_all(records)
@@ -49,8 +55,8 @@ def compute_distances(
 
     corpus = [list(f.text_tokens) for f in features]
     model = text_model if text_model is not None else SoftCosineModel()
-    if not model.vocabulary:
-        model.fit(corpus)
+    if not model.is_fitted:
+        model = model.clone().fit(corpus)
     text = model.distance_matrix(corpus)
     url = url_path_distance_matrix([f.url_tokens for f in features])
     total = (text + url) / 2.0

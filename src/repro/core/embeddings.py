@@ -74,7 +74,11 @@ class PpmiSvdEmbeddings:
             k = min(k, u.shape[1])
             embeddings = u[:, :k] * np.sqrt(s[:k])
         else:
-            u, s, _ = svds(ppmi.astype(np.float64), k=k)
+            # ARPACK's default starting vector is drawn from numpy's global
+            # RNG, which made every fit() nondeterministic; a fixed seeded
+            # v0 restores bit-for-bit reproducibility.
+            v0 = np.random.default_rng(0).uniform(-1.0, 1.0, size=ppmi.shape[0])
+            u, s, _ = svds(ppmi.astype(np.float64), k=k, v0=v0)
             embeddings = u * np.sqrt(np.maximum(s, 0.0))
         return vocabulary, _normalize_rows(embeddings)
 

@@ -3,22 +3,30 @@
 Wires together every analysis stage over a harvested
 :class:`~repro.crawler.harvest.WpnDataset`:
 
-    valid WPNs -> features -> distances -> clustering (silhouette cut)
-    -> ad campaigns -> blocklist labeling + propagation
-    -> meta clustering -> suspicion rules -> manual verification
-    -> measurement tables
+    valid WPNs -> features -> text-model fit -> distances
+    -> linkage -> cut selection -> ad campaigns
+    -> blocklist labeling + propagation -> meta clustering
+    -> suspicion rules -> manual verification -> measurement tables
 
-The resulting :class:`PipelineResult` exposes every intermediate artifact
-plus the stage counters of Table 4 and the headline numbers of Table 3.
+Each arrow is a named ``stage_*`` method on :class:`PushAdMiner`, so
+partial pipelines are first-class (fit a dendrogram once, try several
+cuts; reuse distances across experiments) and every stage is a span
+boundary for the :mod:`repro.obs` tracer.  Configuration lives in the
+frozen :class:`MinerConfig`; the resulting :class:`PipelineResult`
+exposes every intermediate artifact plus the stage counters of Table 4
+and the headline numbers of Table 3.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
 
-if TYPE_CHECKING:  # crawler sits above core in the package DAG
+if TYPE_CHECKING:  # crawler / webenv sit above core in the package DAG
     from repro.crawler.harvest import WpnDataset
+    from repro.webenv.scenario import ScenarioConfig
 
 import numpy as np
 
@@ -31,15 +39,22 @@ from repro.core.campaigns import (
     build_clusters,
     is_ad_campaign,
 )
-from repro.core.clustering import Linkage, cluster_records
+from repro.core.clustering import (
+    AgglomerativeClusterer,
+    CutSelection,
+    Linkage,
+    evaluate_cuts,
+)
 from repro.core.distance import DistanceMatrices, compute_distances
-from repro.core.features import extract_all
+from repro.core.features import WpnFeatures, extract_all
 from repro.core.labeling import LabelingResult, label_malicious_clusters
 from repro.core.metacluster import MetaCluster, build_meta_clusters, meta_of_cluster
 from repro.core.records import WpnRecord
+from repro.core.silhouette import average_silhouette
 from repro.core.suspicious import SuspicionResult, find_suspicious
 from repro.core.textsim import SoftCosineModel
 from repro.core.verification import ManualVerificationOracle
+from repro.obs import Tracer
 
 
 @dataclass
@@ -192,88 +207,373 @@ class PipelineResult:
         }
 
 
-class PushAdMiner:
-    """One-call driver for the full analysis over a record corpus."""
+@dataclass(frozen=True, kw_only=True)
+class MinerConfig:
+    """All scalar knobs of one :class:`PushAdMiner` run, immutably.
 
-    def __init__(
-        self,
-        seed: int = 0,
-        vt_early_rate: float = 0.035,
-        vt_late_rate: float = 0.50,
-        gsb_rate: float = 0.03,
-        vt_fp_rate: float = 0.004,
-        unconfirmable_rate: float = 0.02,
-        text_model: Optional[SoftCosineModel] = None,
-        cut_threshold: Optional[float] = None,
-        months_elapsed: int = 1,
-    ):
-        self.seed = seed
-        self.vt_early_rate = vt_early_rate
-        self.vt_late_rate = vt_late_rate
-        self.gsb_rate = gsb_rate
-        self.vt_fp_rate = vt_fp_rate
-        self.unconfirmable_rate = unconfirmable_rate
-        self.text_model = text_model
-        self.cut_threshold = cut_threshold
-        self.months_elapsed = months_elapsed
+    Keyword-only and frozen: a config can be shared across miners, hashed
+    into experiment identifiers, and tweaked only through :meth:`replace`.
+    Blocklist rates default to the paper's empirical values;
+    :meth:`from_scenario` derives them from a
+    :class:`~repro.webenv.scenario.ScenarioConfig` instead.
+    """
+
+    seed: int = 0
+    vt_early_rate: float = 0.035
+    vt_late_rate: float = 0.50
+    gsb_rate: float = 0.03
+    vt_fp_rate: float = 0.004
+    unconfirmable_rate: float = 0.02
+    cut_threshold: Optional[float] = None
+    months_elapsed: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "vt_early_rate", "vt_late_rate", "gsb_rate", "vt_fp_rate",
+            "unconfirmable_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.months_elapsed < 0:
+            raise ValueError("months_elapsed must be >= 0")
 
     @classmethod
-    def for_dataset(cls, dataset: WpnDataset, **overrides: Any) -> "PushAdMiner":
-        """Build a miner whose blocklist parameters come from the scenario."""
-        config = dataset.config
-        params = dict(
-            seed=config.seed,
-            vt_early_rate=config.vt_early_rate,
-            vt_late_rate=config.vt_late_rate,
-            gsb_rate=config.gsb_rate,
-            vt_fp_rate=config.vt_benign_fp_rate,
+    def from_scenario(
+        cls, scenario: "ScenarioConfig", **overrides: Any
+    ) -> "MinerConfig":
+        """Blocklist parameters from the crawl scenario, plus overrides."""
+        params: Dict[str, Any] = dict(
+            seed=scenario.seed,
+            vt_early_rate=scenario.vt_early_rate,
+            vt_late_rate=scenario.vt_late_rate,
+            gsb_rate=scenario.gsb_rate,
+            vt_fp_rate=scenario.vt_benign_fp_rate,
         )
         params.update(overrides)
         return cls(**params)
 
+    def replace(self, **changes: Any) -> "MinerConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+# Old loose-kwarg names accepted (with a DeprecationWarning) for one release.
+_LEGACY_MINER_KWARGS: Tuple[str, ...] = (
+    "seed",
+    "vt_early_rate",
+    "vt_late_rate",
+    "gsb_rate",
+    "vt_fp_rate",
+    "unconfirmable_rate",
+    "cut_threshold",
+    "months_elapsed",
+)
+
+
+class PushAdMiner:
+    """Driver for the full analysis over a record corpus.
+
+    :meth:`run` executes everything; each ``stage_*`` method is also
+    individually callable for partial pipelines, and opens one tracer span
+    per call.  Construct with a :class:`MinerConfig` (the old flat keyword
+    bag still works but warns)::
+
+        miner = PushAdMiner(config=MinerConfig(seed=7), tracer=tracer)
+        result = miner.run(dataset.valid_records)
+    """
+
+    def __init__(
+        self,
+        config: Optional[MinerConfig] = None,
+        *,
+        text_model: Optional[SoftCosineModel] = None,
+        tracer: Optional[Tracer] = None,
+        **legacy: Any,
+    ):
+        warned = False
+        if config is not None and not isinstance(config, MinerConfig):
+            # Old signature: PushAdMiner(seed) with a positional int seed.
+            warnings.warn(
+                "passing a positional seed to PushAdMiner() is deprecated; "
+                "use PushAdMiner(config=MinerConfig(seed=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy.setdefault("seed", config)
+            config = None
+            warned = True
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_MINER_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"PushAdMiner() got unexpected keyword argument(s): "
+                    f"{', '.join(unknown)}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either config=MinerConfig(...) or legacy keyword "
+                    "arguments, not both"
+                )
+            if not warned:
+                warnings.warn(
+                    f"PushAdMiner({', '.join(sorted(legacy))}) keyword "
+                    "arguments are deprecated; pass config=MinerConfig(...) "
+                    "instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = MinerConfig(**legacy)
+        self.config: MinerConfig = config if config is not None else MinerConfig()
+        self.text_model = text_model
+        self.tracer: Tracer = tracer if tracer is not None else Tracer()
+
+    # -- read-only views of the config under the old attribute names ----
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def vt_early_rate(self) -> float:
+        return self.config.vt_early_rate
+
+    @property
+    def vt_late_rate(self) -> float:
+        return self.config.vt_late_rate
+
+    @property
+    def gsb_rate(self) -> float:
+        return self.config.gsb_rate
+
+    @property
+    def vt_fp_rate(self) -> float:
+        return self.config.vt_fp_rate
+
+    @property
+    def unconfirmable_rate(self) -> float:
+        return self.config.unconfirmable_rate
+
+    @property
+    def cut_threshold(self) -> Optional[float]:
+        return self.config.cut_threshold
+
+    @property
+    def months_elapsed(self) -> int:
+        return self.config.months_elapsed
+
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: WpnDataset,
+        *,
+        text_model: Optional[SoftCosineModel] = None,
+        tracer: Optional[Tracer] = None,
+        **overrides: Any,
+    ) -> "PushAdMiner":
+        """Build a miner whose blocklist parameters come from the scenario.
+
+        ``overrides`` are :class:`MinerConfig` fields (e.g.
+        ``cut_threshold=0.1``, ``months_elapsed=3``) layered on top of the
+        scenario-derived values.
+        """
+        config = MinerConfig.from_scenario(dataset.config, **overrides)
+        return cls(config=config, text_model=text_model, tracer=tracer)
+
+    # ------------------------------------------------------------------
+    # Stages (each one span; individually callable for partial pipelines)
+    # ------------------------------------------------------------------
+    def stage_features(self, records: Sequence[WpnRecord]) -> List[WpnFeatures]:
+        """Extract text/URL token features for every record."""
+        with self.tracer.span("pipeline.features") as span:
+            features = extract_all(records)
+            span.gauge("records", len(records))
+            span.gauge(
+                "text_tokens", sum(len(f.text_tokens) for f in features)
+            )
+            return features
+
+    def stage_text_model(
+        self, features: Sequence[WpnFeatures]
+    ) -> SoftCosineModel:
+        """The fitted soft-cosine model for this corpus.
+
+        Uses the miner's ``text_model`` as-is when already fitted;
+        otherwise fits a clone on this corpus (the caller's model object
+        is never mutated — see :func:`~repro.core.distance.compute_distances`).
+        """
+        with self.tracer.span("pipeline.text_model") as span:
+            corpus = [list(f.text_tokens) for f in features]
+            model = (
+                self.text_model if self.text_model is not None
+                else SoftCosineModel()
+            )
+            if not model.is_fitted:
+                model = model.clone().fit(corpus)
+            span.gauge("documents", len(corpus))
+            span.gauge("vocabulary", len(model.vocabulary))
+            span.gauge("embedding_bytes", int(model.embeddings.nbytes))
+            return model
+
+    def stage_distances(
+        self,
+        records: Sequence[WpnRecord],
+        features: Optional[List[WpnFeatures]] = None,
+        text_model: Optional[SoftCosineModel] = None,
+    ) -> DistanceMatrices:
+        """The text / URL / combined pairwise distance matrices."""
+        with self.tracer.span("pipeline.distances") as span:
+            distances = compute_distances(
+                records,
+                features=features,
+                text_model=text_model if text_model is not None else self.text_model,
+            )
+            span.gauge("records", len(records))
+            span.gauge("matrix_shape", distances.size)
+            span.gauge(
+                "matrix_bytes",
+                int(
+                    distances.text.nbytes
+                    + distances.url.nbytes
+                    + distances.total.nbytes
+                ),
+            )
+            return distances
+
+    def stage_linkage(self, distances: DistanceMatrices) -> Linkage:
+        """The average-linkage dendrogram over the combined distances."""
+        with self.tracer.span("pipeline.linkage") as span:
+            linkage = AgglomerativeClusterer("average").fit(distances.total)
+            span.gauge("leaves", linkage.n_leaves)
+            span.gauge("merges", len(linkage.merges))
+            # fit() works on a float64 copy of the distance matrix.
+            span.gauge("work_bytes", int(distances.total.shape[0] ** 2 * 8))
+            return linkage
+
+    def stage_cut(
+        self, linkage: Linkage, distances: DistanceMatrices
+    ) -> CutSelection:
+        """Silhouette-selected (or configured fixed) dendrogram cut."""
+        with self.tracer.span("pipeline.cut") as span:
+            fixed = self.config.cut_threshold
+            if fixed is not None:
+                labels = linkage.cut(fixed)
+                score = average_silhouette(distances.total, labels)
+                selection = CutSelection(fixed, labels, score, 1)
+            else:
+                selection = evaluate_cuts(linkage, distances.total)
+            span.gauge("candidates_evaluated", selection.n_candidates)
+            span.gauge("threshold", selection.threshold)
+            span.gauge("silhouette", selection.score)
+            span.gauge("clusters", int(selection.labels.max()) + 1)
+            return selection
+
+    def stage_campaigns(
+        self, records: Sequence[WpnRecord], labels: np.ndarray
+    ) -> Tuple[List[WpnCluster], Set[int]]:
+        """Materialized clusters plus the ad-campaign cluster ids."""
+        with self.tracer.span("pipeline.campaigns") as span:
+            clusters = build_clusters(records, labels)
+            campaign_ids = {c.cluster_id for c in ad_campaign_clusters(clusters)}
+            span.gauge("clusters", len(clusters))
+            span.gauge(
+                "singletons", sum(1 for c in clusters if c.is_singleton)
+            )
+            span.gauge("campaign_clusters", len(campaign_ids))
+            return clusters, campaign_ids
+
+    def stage_labeling(
+        self, records: Sequence[WpnRecord], clusters: List[WpnCluster]
+    ) -> Tuple[LabelingResult, ManualVerificationOracle]:
+        """Blocklist labeling + propagation, and the shared oracle.
+
+        The returned oracle must be passed on to :meth:`stage_suspicion`:
+        its draws are sequential, so sharing one instance preserves the
+        exact record-level decisions of a one-call run.
+        """
+        with self.tracer.span("pipeline.labeling") as span:
+            cfg = self.config
+            truth = UrlTruth.from_records(records)
+            virustotal = VirusTotalModel(
+                truth,
+                seed=cfg.seed,
+                early_rate=cfg.vt_early_rate,
+                late_rate=cfg.vt_late_rate,
+                fp_rate=cfg.vt_fp_rate,
+            )
+            gsb = GoogleSafeBrowsingModel(
+                truth, seed=cfg.seed, coverage=cfg.gsb_rate
+            )
+            oracle = ManualVerificationOracle(
+                seed=cfg.seed, unconfirmable_rate=cfg.unconfirmable_rate
+            )
+            labeling = label_malicious_clusters(
+                clusters, virustotal, gsb, oracle,
+                months_elapsed=cfg.months_elapsed,
+            )
+            span.gauge("known_malicious", len(labeling.known_malicious_ids))
+            span.gauge(
+                "propagated_confirmed", len(labeling.propagated_confirmed_ids)
+            )
+            return labeling, oracle
+
+    def stage_metacluster(self, clusters: List[WpnCluster]) -> List[MetaCluster]:
+        """Group clusters into meta clusters by shared infrastructure."""
+        with self.tracer.span("pipeline.metacluster") as span:
+            metas = build_meta_clusters(clusters)
+            span.gauge("meta_clusters", len(metas))
+            return metas
+
+    def stage_suspicion(
+        self,
+        metas: List[MetaCluster],
+        labeling: LabelingResult,
+        oracle: ManualVerificationOracle,
+    ) -> SuspicionResult:
+        """Suspicion rules over meta clusters + manual verification."""
+        with self.tracer.span("pipeline.suspicion") as span:
+            suspicion = find_suspicious(metas, labeling, oracle)
+            span.gauge(
+                "suspicious_metas", len(suspicion.suspicious_meta_ids)
+            )
+            span.gauge("additional_ads", len(suspicion.additional_ad_ids))
+            span.gauge(
+                "confirmed_malicious", len(suspicion.confirmed_malicious_ids)
+            )
+            return suspicion
+
+    # ------------------------------------------------------------------
+    # The one-call driver
+    # ------------------------------------------------------------------
     def run(self, records: Sequence[WpnRecord]) -> PipelineResult:
         """Analyze a corpus of *valid* WPN records end to end."""
-        records = [r for r in records if r.valid]
-        if not records:
-            raise ValueError("no valid records to analyze")
+        with self.tracer.span("pipeline") as span:
+            valid = [r for r in records if r.valid]
+            span.gauge("records_in", len(records))
+            span.gauge("records_valid", len(valid))
+            if not valid:
+                raise ValueError("no valid records to analyze")
 
-        distances = compute_distances(records, text_model=self.text_model)
-        labels, linkage, threshold, score = cluster_records(
-            distances.total, threshold=self.cut_threshold
-        )
-        clusters = build_clusters(records, labels)
-        campaign_ids = {c.cluster_id for c in ad_campaign_clusters(clusters)}
+            features = self.stage_features(valid)
+            model = self.stage_text_model(features)
+            distances = self.stage_distances(valid, features, model)
+            linkage = self.stage_linkage(distances)
+            cut = self.stage_cut(linkage, distances)
+            clusters, campaign_ids = self.stage_campaigns(valid, cut.labels)
+            labeling, oracle = self.stage_labeling(valid, clusters)
+            metas = self.stage_metacluster(clusters)
+            suspicion = self.stage_suspicion(metas, labeling, oracle)
 
-        truth = UrlTruth.from_records(records)
-        virustotal = VirusTotalModel(
-            truth,
-            seed=self.seed,
-            early_rate=self.vt_early_rate,
-            late_rate=self.vt_late_rate,
-            fp_rate=self.vt_fp_rate,
-        )
-        gsb = GoogleSafeBrowsingModel(truth, seed=self.seed, coverage=self.gsb_rate)
-        oracle = ManualVerificationOracle(
-            seed=self.seed, unconfirmable_rate=self.unconfirmable_rate
-        )
-
-        labeling = label_malicious_clusters(
-            clusters, virustotal, gsb, oracle, months_elapsed=self.months_elapsed
-        )
-        metas = build_meta_clusters(clusters)
-        suspicion = find_suspicious(metas, labeling, oracle)
-
-        return PipelineResult(
-            records=list(records),
-            distances=distances,
-            linkage=linkage,
-            cut_threshold=threshold,
-            silhouette=score,
-            labels=labels,
-            clusters=clusters,
-            campaign_cluster_ids=campaign_ids,
-            labeling=labeling,
-            metas=metas,
-            suspicion=suspicion,
-            oracle=oracle,
-        )
+            return PipelineResult(
+                records=list(valid),
+                distances=distances,
+                linkage=linkage,
+                cut_threshold=cut.threshold,
+                silhouette=cut.score,
+                labels=cut.labels,
+                clusters=clusters,
+                campaign_cluster_ids=campaign_ids,
+                labeling=labeling,
+                metas=metas,
+                suspicion=suspicion,
+                oracle=oracle,
+            )

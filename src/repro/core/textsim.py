@@ -65,6 +65,27 @@ class SoftCosineModel:
             return backend
         raise ValueError(f"unknown embedding backend: {backend!r}")
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called (vocabulary is non-empty)."""
+        return bool(self.vocabulary)
+
+    def clone(self) -> "SoftCosineModel":
+        """An unfitted copy sharing this model's hyperparameters.
+
+        The embedding backend object is reused — backends are stateless
+        between :meth:`fit` calls — so cloning is O(1) and the clone trains
+        to exactly the numbers the original would have.
+        """
+        clone = SoftCosineModel.__new__(SoftCosineModel)
+        clone.dimensions = self.dimensions
+        clone.blend = self.blend
+        clone.min_count = self.min_count
+        clone.backend = self.backend
+        clone.vocabulary = {}
+        clone.embeddings = np.zeros((0, self.dimensions))
+        return clone
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------

@@ -18,8 +18,9 @@ from repro.crawler.mobile import MobileCrawler
 from repro.crawler.scheduler import CrawlStats
 from repro.crawler.seeds import SeedDiscovery, discover_seeds
 from repro.crawler.session import SessionResult
+from repro.obs import Tracer
 from repro.util.rng import RngFactory
-from repro.webenv.domains import effective_second_level_domain
+from repro.util.domains import effective_second_level_domain
 from repro.webenv.generator import WebEcosystem, generate_ecosystem
 from repro.webenv.scenario import ScenarioConfig
 
@@ -86,37 +87,68 @@ def _collect(results: List[SessionResult], dataset: WpnDataset) -> None:
             dataset.first_latencies_min.append(result.first_latency_min)
 
 
+def _record_platform_stats(span, stats: CrawlStats) -> None:
+    """Copy a platform's :class:`CrawlStats` counters onto its span."""
+    span.gauge("sessions", stats.visited_urls)
+    span.gauge("npr_urls", stats.npr_urls)
+    span.gauge("registered_sw_urls", stats.registered_sw_urls)
+    span.gauge("discovered_landing_urls", stats.discovered_landing_urls)
+    span.gauge("second_wave_urls", stats.second_wave_urls)
+    span.gauge("notifications_collected", stats.notifications_collected)
+    span.gauge("notifications_valid", stats.notifications_valid)
+    span.gauge("live_deliveries", stats.live_deliveries)
+    span.gauge("queued_deliveries", stats.queued_deliveries)
+
+
 def run_full_crawl(
     config: Optional[ScenarioConfig] = None,
     ecosystem: Optional[WebEcosystem] = None,
     run_mobile: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> WpnDataset:
-    """Generate the world (unless given), seed, and crawl it end to end."""
-    if ecosystem is None:
-        if config is None:
-            raise ValueError("provide a config or a pre-built ecosystem")
-        ecosystem = generate_ecosystem(config)
-    rngs = RngFactory(ecosystem.config.seed).child("crawl")
+    """Generate the world (unless given), seed, and crawl it end to end.
 
-    discovery = discover_seeds(ecosystem)
-    desktop = DesktopCrawler(ecosystem, rngs.stream("desktop"))
-    desktop_results = desktop.crawl(discovery)
+    ``tracer`` (optional) records a ``crawl`` span tree — world generation,
+    seed discovery, one child span per platform crawl with session and
+    suspend/resume delivery counters — without affecting the dataset.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    with tracer.span("crawl") as crawl_span:
+        if ecosystem is None:
+            if config is None:
+                raise ValueError("provide a config or a pre-built ecosystem")
+            ecosystem = generate_ecosystem(config, tracer=tracer)
+        rngs = RngFactory(ecosystem.config.seed).child("crawl")
 
-    if run_mobile:
-        mobile = MobileCrawler(ecosystem, rngs.stream("mobile"))
-        mobile_results = mobile.crawl(discovery)
-        mobile_stats = mobile.stats
-    else:
-        mobile_results = []
-        mobile_stats = CrawlStats()
+        with tracer.span("crawl.seeds") as seed_span:
+            discovery = discover_seeds(ecosystem)
+            seed_span.gauge("seed_urls", discovery.total_urls)
+            seed_span.gauge("npr_urls", discovery.total_nprs)
 
-    dataset = WpnDataset(
-        ecosystem=ecosystem,
-        discovery=discovery,
-        records=[],
-        desktop_stats=desktop.stats,
-        mobile_stats=mobile_stats,
-    )
-    _collect(desktop_results, dataset)
-    _collect(mobile_results, dataset)
+        with tracer.span("crawl.desktop") as desktop_span:
+            desktop = DesktopCrawler(ecosystem, rngs.stream("desktop"))
+            desktop_results = desktop.crawl(discovery)
+            _record_platform_stats(desktop_span, desktop.stats)
+
+        if run_mobile:
+            with tracer.span("crawl.mobile") as mobile_span:
+                mobile = MobileCrawler(ecosystem, rngs.stream("mobile"))
+                mobile_results = mobile.crawl(discovery)
+                mobile_stats = mobile.stats
+                _record_platform_stats(mobile_span, mobile_stats)
+        else:
+            mobile_results = []
+            mobile_stats = CrawlStats()
+
+        dataset = WpnDataset(
+            ecosystem=ecosystem,
+            discovery=discovery,
+            records=[],
+            desktop_stats=desktop.stats,
+            mobile_stats=mobile_stats,
+        )
+        _collect(desktop_results, dataset)
+        _collect(mobile_results, dataset)
+        crawl_span.gauge("records", len(dataset.records))
+        crawl_span.gauge("valid_records", len(dataset.valid_records))
     return dataset

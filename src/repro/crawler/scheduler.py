@@ -18,7 +18,7 @@ from repro.crawler.session import ContainerSession, LandingLead, SessionResult
 from repro.push.fcm import FcmService
 from repro.webenv.content import ALERT_FAMILIES
 from repro.webenv.generator import WebEcosystem
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 from repro.webenv.website import Website, publisher_page_source
 
 
@@ -34,6 +34,13 @@ class CrawlStats:
     second_wave_urls: int = 0
     notifications_collected: int = 0
     notifications_valid: int = 0
+    live_deliveries: int = 0
+    queued_deliveries: int = 0
+
+    #: Delivery latency above which a notification is considered to have
+    #: waited in the FCM queue for a container resume (matches
+    #: :func:`repro.core.timeline.timeline_report`).
+    QUEUE_THRESHOLD_MIN = 1.0
 
 
 class CrawlScheduler:
@@ -100,6 +107,11 @@ class CrawlScheduler:
             self.stats.registered_sw_urls += 1
         self.stats.notifications_collected += len(result.records)
         self.stats.notifications_valid += sum(1 for r in result.records if r.valid)
+        for record in result.records:
+            if record.delivery_latency_min > CrawlStats.QUEUE_THRESHOLD_MIN:
+                self.stats.queued_deliveries += 1
+            else:
+                self.stats.live_deliveries += 1
         if leads is not None:
             leads.extend(result.landing_leads)
         return result

@@ -11,9 +11,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from repro.webenv.adnetworks import ALL_SEEDS, AdNetworkSpec
-from repro.webenv.domains import effective_second_level_domain
+from repro.util.domains import effective_second_level_domain
 from repro.webenv.generator import WebEcosystem
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 from repro.webenv.website import Website
 
 

@@ -6,8 +6,9 @@ SDKs, advertiser campaigns (benign and malicious) rotating landing domains,
 a code-search engine for seeding the crawler, and a popularity ranking.
 """
 
-from repro.webenv.urls import Url
-from repro.webenv.domains import DomainFactory, effective_second_level_domain
+from repro.util.urls import Url
+from repro.util.domains import effective_second_level_domain
+from repro.webenv.domains import DomainFactory
 from repro.webenv.adnetworks import AD_NETWORKS, GENERIC_KEYWORDS, AdNetworkSpec
 from repro.webenv.content import FAMILIES, ContentFamily, family_by_name
 from repro.webenv.campaigns import AdCampaign, CampaignFactory

@@ -1,30 +1,50 @@
 """Domain-name generation for the simulated web.
 
 The eTLD+1 primitives and TLD pools live in :mod:`repro.util.domains` (the
-bottom layer of the package DAG, shared with the analysis pipeline) and are
-re-exported here; this module adds the generator-side
-:class:`DomainFactory`.
+bottom layer of the package DAG, shared with the analysis pipeline); this
+module adds the generator-side :class:`DomainFactory`.  The old
+``repro.webenv.domains`` re-exports of the util names remain available
+through a module-level ``__getattr__`` shim that warns once per attribute
+— import them from ``repro.util.domains`` instead.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Set
+import warnings
+from typing import Any, List, Set
 
-from repro.util.domains import (
-    BENIGN_TLDS,
-    MULTI_LABEL_SUFFIXES,
-    SHADY_TLDS,
-    effective_second_level_domain,
-)
+from repro.util import domains as _domains
+from repro.util.domains import BENIGN_TLDS as _BENIGN_TLDS
+from repro.util.domains import SHADY_TLDS as _SHADY_TLDS
 
-__all__ = [
+_MOVED = (
     "BENIGN_TLDS",
     "MULTI_LABEL_SUFFIXES",
     "SHADY_TLDS",
     "effective_second_level_domain",
-    "DomainFactory",
-]
+)
+_warned: Set[str] = set()
+
+__all__ = ["DomainFactory"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.webenv.domains.{name} is deprecated; import it from "
+                "repro.util.domains",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return getattr(_domains, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_MOVED))
 
 _ADJECTIVES = [
     "daily", "global", "prime", "smart", "super", "mega", "best", "fast",
@@ -74,7 +94,7 @@ class DomainFactory:
         """A plausible legitimate site domain, e.g. ``dailyrecipes.com``."""
         rng = self._rng
         stem = rng.choice(_ADJECTIVES) + rng.choice(_NOUNS)
-        return self._unique(f"{stem}.{rng.choice(BENIGN_TLDS)}")
+        return self._unique(f"{stem}.{rng.choice(_BENIGN_TLDS)}")
 
     def shady(self) -> str:
         """A throwaway-looking domain used by malicious landing pages."""
@@ -83,7 +103,7 @@ class DomainFactory:
         if rng.random() < 0.45:
             parts.append(str(rng.randrange(1, 100)))
         stem = "-".join(parts) if rng.random() < 0.6 else "".join(parts)
-        return self._unique(f"{stem}.{rng.choice(SHADY_TLDS)}")
+        return self._unique(f"{stem}.{rng.choice(_SHADY_TLDS)}")
 
     def ad_network(self, name: str) -> str:
         """The canonical serving domain for an ad network."""

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import Tracer
 from repro.util.rng import RngFactory
 from repro.webenv.adnetworks import ALL_SEEDS, AdNetworkSpec
 from repro.webenv.alexa import PopularityIndex
@@ -47,7 +48,7 @@ from repro.webenv.landing import (
 )
 from repro.webenv.scenario import ScenarioConfig
 from repro.webenv.search import CodeSearchEngine
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 from repro.webenv.website import (
     Website,
     alert_page_source,
@@ -339,44 +340,72 @@ def _build_websites(
     return websites
 
 
-def generate_ecosystem(config: ScenarioConfig) -> WebEcosystem:
-    """Build the full simulated world for one scenario, deterministically."""
-    rngs = RngFactory(config.seed)
-    domain_factory = DomainFactory(rngs.stream("domains"))
-    infra = LandingInfrastructure(rngs.stream("infra"))
-    networks = {spec.name: spec for spec in ALL_SEEDS if not spec.is_generic_keyword}
+def generate_ecosystem(
+    config: ScenarioConfig, tracer: Optional[Tracer] = None
+) -> WebEcosystem:
+    """Build the full simulated world for one scenario, deterministically.
 
-    network_domains = {
-        name: domain_factory.ad_network(name) for name in sorted(networks)
-    }
+    ``tracer`` (optional) records a ``webenv.generate`` span with child
+    spans for campaign, website, and index construction; tracing never
+    affects the generated world.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    with tracer.span("webenv.generate") as span:
+        rngs = RngFactory(config.seed)
+        domain_factory = DomainFactory(rngs.stream("domains"))
+        infra = LandingInfrastructure(rngs.stream("infra"))
+        networks = {
+            spec.name: spec for spec in ALL_SEEDS if not spec.is_generic_keyword
+        }
 
-    campaigns, operations = _build_campaigns(
-        config, rngs.stream("campaigns"), domain_factory, infra, networks
-    )
-    websites = _build_websites(
-        config, rngs.stream("websites"), domain_factory, networks
-    )
+        network_domains = {
+            name: domain_factory.ad_network(name) for name in sorted(networks)
+        }
 
-    search_engine = CodeSearchEngine()
-    search_engine.index_many(websites)
+        with tracer.span("webenv.campaigns") as campaign_span:
+            campaigns, operations = _build_campaigns(
+                config, rngs.stream("campaigns"), domain_factory, infra, networks
+            )
+            campaign_span.gauge("campaigns", len(campaigns))
+            campaign_span.gauge("operations", len(operations))
+            campaign_span.gauge(
+                "malicious_campaigns", sum(1 for c in campaigns if c.malicious)
+            )
 
-    popularity = PopularityIndex(
-        rngs.stream("alexa"), ranked_fraction=config.ranked_fraction
-    )
+        with tracer.span("webenv.websites") as site_span:
+            websites = _build_websites(
+                config, rngs.stream("websites"), domain_factory, networks
+            )
+            site_span.gauge("websites", len(websites))
+            site_span.gauge(
+                "prompting_websites",
+                sum(1 for w in websites if w.requests_permission),
+            )
 
-    ecosystem = WebEcosystem(
-        config=config,
-        networks=networks,
-        network_domains=network_domains,
-        campaigns=campaigns,
-        operations=operations,
-        websites=websites,
-        search_engine=search_engine,
-        popularity=popularity,
-        infrastructure=infra,
-        redirect_builder=RedirectChainBuilder(
-            rngs.stream("redirects"), network_domains
-        ),
-    )
-    ecosystem._landing_rng = rngs.stream("landing-prompts")
+        with tracer.span("webenv.search_index") as index_span:
+            search_engine = CodeSearchEngine()
+            search_engine.index_many(websites)
+            index_span.gauge("indexed_pages", len(websites))
+
+        popularity = PopularityIndex(
+            rngs.stream("alexa"), ranked_fraction=config.ranked_fraction
+        )
+        span.gauge("networks", len(networks))
+        span.gauge("domains_issued", domain_factory.issued_count())
+
+        ecosystem = WebEcosystem(
+            config=config,
+            networks=networks,
+            network_domains=network_domains,
+            campaigns=campaigns,
+            operations=operations,
+            websites=websites,
+            search_engine=search_engine,
+            popularity=popularity,
+            infrastructure=infra,
+            redirect_builder=RedirectChainBuilder(
+                rngs.stream("redirects"), network_domains
+            ),
+        )
+        ecosystem._landing_rng = rngs.stream("landing-prompts")
     return ecosystem

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Set
 
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 from repro.webenv.website import Website
 
 

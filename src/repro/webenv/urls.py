@@ -1,9 +1,37 @@
-"""Re-export of the URL value type from its home in :mod:`repro.util`.
+"""Deprecated alias of :mod:`repro.util.urls`.
 
-Kept so existing ``repro.webenv.urls`` imports stay valid; the class itself
-lives in the bottom layer of the package DAG (see ``repro/util/urls.py``).
+The :class:`~repro.util.urls.Url` value type moved to the bottom layer of
+the package DAG in PR 1; this module-level ``__getattr__`` shim keeps old
+``repro.webenv.urls`` imports working for one release, warning once per
+attribute.  Import from ``repro.util.urls`` instead.
 """
 
-from repro.util.urls import Url
+from __future__ import annotations
 
-__all__ = ["Url"]
+import warnings
+from typing import Any, List, Set
+
+from repro.util import urls as _urls
+
+_MOVED = ("Url",)
+_warned: Set[str] = set()
+
+__all__ = list(_MOVED)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.webenv.urls.{name} is deprecated; import it from "
+                "repro.util.urls",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return getattr(_urls, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_MOVED))

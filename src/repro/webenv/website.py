@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 @dataclass

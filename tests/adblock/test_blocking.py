@@ -7,7 +7,7 @@ from repro.adblock.evaluate import evaluate_blocking
 from repro.adblock.extensions import AdBlockerExtension, popular_extensions
 from repro.adblock.rules import FilterList
 from repro.browser.network import NetworkRequest
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 NETWORK_DOMAINS = {

@@ -45,25 +45,34 @@ class TestNoWallclock:
         )
         assert findings == []
 
-    def test_exempt_inside_repro_util(self):
+    def test_exempt_inside_obs_clock(self):
         findings = check_snippet(
             NoWallclockRule(),
             """
             import time
 
             def real_now():
-                return time.time()
+                return time.perf_counter()
             """,
-            module="repro.util.clock",
+            module="repro.obs.clock",
         )
         assert findings == []
 
-    def test_prefix_exemption_is_not_a_string_prefix_match(self):
-        # repro.utility is NOT repro.util
+    def test_repro_util_is_no_longer_exempt(self):
+        # Clock access moved to repro.obs.clock; even util must not read it.
         findings = check_snippet(
             NoWallclockRule(),
             "import time\nx = time.time()\n",
-            module="repro.utility",
+            module="repro.util.clock",
+        )
+        assert len(findings) == 1
+
+    def test_prefix_exemption_is_not_a_string_prefix_match(self):
+        # repro.obs.clockwork is NOT repro.obs.clock
+        findings = check_snippet(
+            NoWallclockRule(),
+            "import time\nx = time.time()\n",
+            module="repro.obs.clockwork",
         )
         assert len(findings) == 1
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.browser.events import BrowserEvent, EventKind, EventLog
 from repro.browser.permissions import PermissionManager, QuietUiPolicy
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 from repro.webenv.website import Website, plain_page_source
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.browser.events import EventKind, EventLog
 from repro.browser.network import NetworkRequest, NetworkStack
 from repro.webenv.landing import RedirectChain
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 class TestNetworkRequest:

@@ -1,0 +1,43 @@
+"""Tests for the injectable clock protocol."""
+
+import time
+
+from repro.obs import Clock, NullClock, PerfClock
+
+
+class TestNullClock:
+    def test_always_zero(self):
+        clock = NullClock()
+        assert clock.now() == 0.0
+        assert clock.now() == 0.0
+
+    def test_name(self):
+        assert NullClock().name == "null"
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NullClock(), Clock)
+
+
+class TestPerfClock:
+    def test_starts_near_zero(self):
+        clock = PerfClock()
+        assert 0.0 <= clock.now() < 1.0
+
+    def test_monotonic(self):
+        clock = PerfClock()
+        a = clock.now()
+        time.sleep(0.002)
+        b = clock.now()
+        assert b > a
+
+    def test_name(self):
+        assert PerfClock().name == "perf"
+
+    def test_satisfies_protocol(self):
+        assert isinstance(PerfClock(), Clock)
+
+    def test_independent_epochs(self):
+        first = PerfClock()
+        time.sleep(0.002)
+        second = PerfClock()
+        assert second.now() < first.now()

@@ -1,0 +1,96 @@
+"""Tests for trace reporters and end-to-end trace determinism."""
+
+import json
+
+from repro.core.pipeline import PushAdMiner
+from repro.crawler.harvest import run_full_crawl
+from repro.obs import (
+    TRACE_SCHEMA,
+    Tracer,
+    format_trace,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.webenv.scenario import paper_scenario
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("a") as span:
+        span.gauge("records", 3)
+        with tracer.span("b") as inner:
+            inner.count("hits", 2)
+    return tracer
+
+
+class TestTraceToDict:
+    def test_schema_and_clock(self):
+        payload = trace_to_dict(_sample_tracer())
+        assert payload["schema"] == TRACE_SCHEMA
+        assert payload["clock"] == "null"
+
+    def test_tree_shape(self):
+        payload = trace_to_dict(_sample_tracer())
+        root = payload["trace"]
+        assert root["name"] == "trace"
+        a = root["children"][0]
+        assert a["metrics"] == {"records": 3}
+        assert a["children"][0]["metrics"] == {"hits": 2}
+
+    def test_finishes_the_trace(self):
+        tracer = _sample_tracer()
+        trace_to_dict(tracer)
+        assert tracer.root.end is not None
+
+
+class TestTraceToJson:
+    def test_newline_terminated_valid_json(self):
+        text = trace_to_json(_sample_tracer())
+        assert text.endswith("\n")
+        assert json.loads(text)["schema"] == TRACE_SCHEMA
+
+    def test_identical_for_identical_traces(self):
+        assert trace_to_json(_sample_tracer()) == trace_to_json(_sample_tracer())
+
+
+class TestFormatTrace:
+    def test_contains_names_and_metrics(self):
+        text = format_trace(_sample_tracer())
+        assert "clock=null" in text
+        assert "records=3" in text
+        assert "hits=2" in text
+
+    def test_indentation_reflects_depth(self):
+        lines = format_trace(_sample_tracer()).splitlines()
+        assert lines[1].startswith("  trace")
+        assert lines[2].startswith("    a")
+        assert lines[3].startswith("      b")
+
+
+def _traced_run_json(seed: float, scale: float) -> str:
+    tracer = Tracer()
+    config = paper_scenario(seed=seed, scale=scale)
+    dataset = run_full_crawl(config=config, tracer=tracer)
+    PushAdMiner.for_dataset(dataset, tracer=tracer).run(dataset.valid_records)
+    return trace_to_json(tracer)
+
+
+class TestTraceDeterminism:
+    def test_full_run_trace_bit_identical(self):
+        """Same seed + NullClock => byte-identical trace JSON (tier-1)."""
+        first = _traced_run_json(seed=11, scale=0.02)
+        second = _traced_run_json(seed=11, scale=0.02)
+        assert first == second
+
+    def test_trace_covers_crawl_and_pipeline(self):
+        payload = json.loads(_traced_run_json(seed=11, scale=0.02))
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        collect(payload["trace"])
+        assert {"crawl", "crawl.desktop", "webenv.generate",
+                "pipeline", "pipeline.distances", "pipeline.cut"} <= names

@@ -1,0 +1,101 @@
+"""Tests for the span-tree tracer."""
+
+import pytest
+
+from repro.obs import NullClock, PerfClock, Span, Tracer
+
+
+class TestSpan:
+    def test_count_accumulates(self):
+        span = Span(name="s")
+        span.count("hits")
+        span.count("hits", 4)
+        assert span.metrics["hits"] == 5
+
+    def test_gauge_last_write_wins(self):
+        span = Span(name="s")
+        span.gauge("size", 10)
+        span.gauge("size", 3)
+        assert span.metrics["size"] == 3
+
+    def test_duration_open_span_is_zero(self):
+        assert Span(name="s", start=5.0).duration == 0.0
+
+    def test_duration_closed(self):
+        assert Span(name="s", start=1.0, end=3.5).duration == 2.5
+
+    def test_walk_depth_first(self):
+        root = Span(name="root")
+        a = Span(name="a")
+        b = Span(name="b")
+        a.children.append(Span(name="a1"))
+        root.children.extend([a, b])
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+
+    def test_find(self):
+        root = Span(name="root")
+        root.children.append(Span(name="leaf"))
+        assert root.find("leaf") is root.children[0]
+        assert root.find("missing") is None
+
+    def test_to_dict_sorted_metrics(self):
+        span = Span(name="s", start=0.0, end=1.0)
+        span.gauge("zeta", 1)
+        span.gauge("alpha", 2)
+        payload = span.to_dict()
+        assert list(payload["metrics"]) == ["alpha", "zeta"]
+        assert payload["duration_s"] == 1.0
+
+
+class TestTracer:
+    def test_defaults_to_null_clock(self):
+        assert isinstance(Tracer().clock, NullClock)
+
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is tracer.root
+        outer = tracer.root.children[0]
+        assert outer.name == "outer"
+        assert outer.children[0].name == "inner"
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer(clock=PerfClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        span = tracer.root.children[0]
+        assert span.end is not None
+        assert tracer.current is tracer.root
+
+    def test_null_clock_timestamps_all_zero(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        tracer.finish()
+        for span in tracer.root.walk():
+            assert span.start == 0.0 and span.end == 0.0
+
+    def test_perf_clock_durations_positive(self):
+        tracer = Tracer(clock=PerfClock())
+        with tracer.span("a"):
+            sum(range(1000))
+        tracer.finish()
+        assert tracer.root.children[0].duration >= 0.0
+        assert tracer.root.duration >= tracer.root.children[0].duration
+
+    def test_finish_idempotent(self):
+        tracer = Tracer(clock=PerfClock())
+        first = tracer.finish().end
+        assert tracer.finish().end == first
+
+    def test_yielded_span_accepts_metrics(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            span.gauge("records", 7)
+            span.count("retries")
+        assert tracer.root.children[0].metrics == {"records": 7, "retries": 1}

@@ -12,8 +12,8 @@ from repro.core.urlsim import url_path_distance_matrix
 from repro.util.graph import UnionFind
 from repro.util.rng import RngFactory
 from repro.util.textproc import jaccard_distance, tokenize_text, tokenize_url_path
-from repro.webenv.domains import effective_second_level_domain
-from repro.webenv.urls import Url
+from repro.util.domains import effective_second_level_domain
+from repro.util.urls import Url
 
 # ----------------------------------------------------------------------
 # Strategies

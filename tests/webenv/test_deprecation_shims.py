@@ -1,0 +1,69 @@
+"""Tests for the repro.webenv.urls / repro.webenv.domains deprecation shims.
+
+The shims warn exactly once per attribute (module-level ``__getattr__``
+with a warned-set), so each attribute's first-touch behaviour is asserted
+in a single test to keep ordering self-contained.
+"""
+
+import warnings
+
+import pytest
+
+from repro.util import domains as util_domains
+from repro.util import urls as util_urls
+from repro.webenv import domains as shim_domains
+from repro.webenv import urls as shim_urls
+
+
+class TestUrlShim:
+    def test_warns_once_then_stays_silent(self):
+        shim_urls._warned.discard("Url")
+        with pytest.warns(DeprecationWarning, match="repro.util.urls"):
+            first = shim_urls.Url
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = shim_urls.Url
+        assert first is util_urls.Url
+        assert second is util_urls.Url
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="nope"):
+            shim_urls.nope
+
+    def test_dir_lists_moved_names(self):
+        assert "Url" in dir(shim_urls)
+
+
+class TestDomainsShim:
+    def test_warns_once_then_stays_silent(self):
+        shim_domains._warned.discard("BENIGN_TLDS")
+        with pytest.warns(DeprecationWarning, match="repro.util.domains"):
+            first = shim_domains.BENIGN_TLDS
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = shim_domains.BENIGN_TLDS
+        assert first is util_domains.BENIGN_TLDS
+        assert second is util_domains.BENIGN_TLDS
+
+    def test_warning_is_per_attribute(self):
+        shim_domains._warned.discard("SHADY_TLDS")
+        shim_domains._warned.discard("effective_second_level_domain")
+        with pytest.warns(DeprecationWarning, match="SHADY_TLDS"):
+            shim_domains.SHADY_TLDS
+        # a different moved attribute warns again, independently
+        with pytest.warns(DeprecationWarning, match="effective_second_level"):
+            shim_domains.effective_second_level_domain
+
+    def test_native_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert shim_domains.DomainFactory is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            shim_domains.no_such_name
+
+    def test_dir_lists_moved_and_native_names(self):
+        listing = dir(shim_domains)
+        assert "DomainFactory" in listing
+        assert "MULTI_LABEL_SUFFIXES" in listing

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.util.rng import RngFactory
-from repro.webenv.domains import (
+from repro.util.domains import (
     BENIGN_TLDS,
     SHADY_TLDS,
-    DomainFactory,
     effective_second_level_domain,
 )
+from repro.util.rng import RngFactory
+from repro.webenv.domains import DomainFactory
 
 
 class TestEffectiveSecondLevelDomain:

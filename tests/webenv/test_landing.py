@@ -9,7 +9,7 @@ from repro.webenv.landing import (
     RedirectChainBuilder,
     visual_signature,
 )
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 class TestVisualSignature:

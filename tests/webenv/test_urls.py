@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 
 
 class TestConstruction:

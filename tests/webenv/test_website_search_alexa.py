@@ -5,7 +5,7 @@ import pytest
 from repro.util.rng import RngFactory
 from repro.webenv.alexa import TOP_1M, PopularityIndex
 from repro.webenv.search import CodeSearchEngine
-from repro.webenv.urls import Url
+from repro.util.urls import Url
 from repro.webenv.website import (
     Website,
     alert_page_source,
