@@ -31,6 +31,13 @@ bench_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 scripts/bench.sh --smoke --output "$bench_out" || failures=$((failures + 1))
 rm -f "$bench_out"
 
+step "bench compare (scripts/bench.sh --compare BENCH_pipeline.json)"
+if [ -f BENCH_pipeline.json ]; then
+    scripts/bench.sh --compare BENCH_pipeline.json || failures=$((failures + 1))
+else
+    echo "no committed BENCH_pipeline.json; skipping"
+fi
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAILED ($failures step(s) failed)"

@@ -11,6 +11,7 @@ from typing import Dict, List, Sequence, Tuple, Type
 
 from repro.analysis.rules.annotations import PublicApiAnnotationsRule
 from repro.analysis.rules.base import ImportMap, Rule, module_in
+from repro.analysis.rules.densify import NoMatrixDensifyRule
 from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
 from repro.analysis.rules.layering import ImportLayeringRule
 from repro.analysis.rules.network import NoNetworkImportsRule
@@ -27,6 +28,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     NoBareExceptRule,
     DeterministicEmitRule,
     PublicApiAnnotationsRule,
+    NoMatrixDensifyRule,
 )
 
 

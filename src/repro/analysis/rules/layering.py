@@ -7,9 +7,11 @@ strictly below it):
     util  <  obs
     util, obs  <  webenv  <  push  <  browser  <  adblock
     util, obs  <  blocklists  <  core
+    perf  <  core
     core, browser, push, webenv  <  crawler  <  experiments
 
-``repro.util`` imports nothing from repro; ``repro.core`` never sees the
+``repro.util`` and ``repro.perf`` import nothing from repro (``perf`` is
+pure numeric kernels — numpy/scipy only); ``repro.core`` never sees the
 simulated web (``webenv``/``browser``/``crawler``) so the analysis pipeline
 provably works from collected records alone, exactly like the paper's miner.
 Top-level modules (``repro.cli``, ``repro.io``, ``repro.viz``...) are glue
@@ -36,6 +38,7 @@ _BELOW_EXPERIMENTS = frozenset(
         "browser",
         "adblock",
         "blocklists",
+        "perf",
         "core",
         "crawler",
     }
@@ -51,7 +54,8 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "browser": frozenset({"util", "obs", "webenv", "push"}),
     "adblock": frozenset({"util", "obs", "webenv", "push", "browser"}),
     "blocklists": frozenset({"util", "obs"}),
-    "core": frozenset({"util", "obs", "blocklists"}),
+    "perf": frozenset(),
+    "core": frozenset({"util", "obs", "blocklists", "perf"}),
     "crawler": frozenset({"util", "obs", "webenv", "push", "browser", "core"}),
     "experiments": _BELOW_EXPERIMENTS,
 }

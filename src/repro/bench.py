@@ -2,22 +2,31 @@
 
 Runs the full crawl + PushAdMiner pipeline under a :class:`~repro.obs.PerfClock`
 tracer and writes ``BENCH_pipeline.json``: per-stage wall time, peak matrix
-footprint, and the record/cluster counters each stage reported.  The same
-seeded run under the default :class:`~repro.obs.NullClock` stays bit-identical;
-this harness is the one place wall-clock readings enter a committed artifact.
+footprint, the perf configuration (workers / tile size / precision / storage),
+per-stage speedup against the committed baseline, and the record/cluster
+counters each stage reported.  The same seeded run under the default
+:class:`~repro.obs.NullClock` stays bit-identical; this harness is the one
+place wall-clock readings enter a committed artifact.
 
 ``--smoke`` runs a tiny scenario (for ``scripts/check.sh``) just to prove the
 harness end-to-end; the default scale matches ``benchmarks/``.
+
+``--compare`` is the regression gate: re-run the committed baseline's
+scenario and fail when any pipeline stage regresses more than ``--tolerance``
+(default 25%) in wall time, or when the deterministic summary drifts at all.
+Stages whose baseline wall time is under ``--min-wall`` seconds are skipped —
+their timings are noise-dominated.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.pipeline import PushAdMiner
+from repro.core.pipeline import MinerConfig, PushAdMiner
 from repro.crawler.harvest import run_full_crawl
 from repro.obs import PerfClock, Span, Tracer
 from repro.webenv.scenario import paper_scenario
@@ -25,6 +34,9 @@ from repro.webenv.scenario import paper_scenario
 BENCH_SCHEMA = "repro-bench/1"
 DEFAULT_SCALE = 0.125
 SMOKE_SCALE = 0.02
+DEFAULT_BASELINE = "BENCH_pipeline.json"
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_WALL = 0.05
 
 
 def _stage_rows(parent: Span) -> List[Dict[str, Any]]:
@@ -48,14 +60,26 @@ def _peak_matrix_bytes(tracer: Tracer) -> int:
     return peak
 
 
-def run_benchmark(seed: int, scale: float) -> Dict[str, Any]:
+def run_benchmark(
+    seed: int,
+    scale: float,
+    *,
+    workers: int = 1,
+    tile_size: Optional[int] = None,
+    precision: str = "float64",
+    storage: str = "dense",
+) -> Dict[str, Any]:
     """One crawl + pipeline run; returns the bench report payload."""
     tracer = Tracer(clock=PerfClock())
     config = paper_scenario(seed=seed, scale=scale)
     dataset = run_full_crawl(config=config, tracer=tracer)
-    result = PushAdMiner.for_dataset(dataset, tracer=tracer).run(
-        dataset.valid_records
+    overrides: Dict[str, Any] = dict(
+        workers=workers, precision=precision, storage=storage
     )
+    if tile_size is not None:
+        overrides["tile_size"] = tile_size
+    miner = PushAdMiner.for_dataset(dataset, tracer=tracer, **overrides)
+    result = miner.run(dataset.valid_records)
     tracer.finish()
 
     crawl_span = tracer.root.find("crawl")
@@ -65,6 +89,12 @@ def run_benchmark(seed: int, scale: float) -> Dict[str, Any]:
         "schema": BENCH_SCHEMA,
         "clock": tracer.clock.name,
         "scenario": {"seed": seed, "scale": scale},
+        "perf": {
+            "workers": miner.config.workers,
+            "tile_size": miner.config.tile_size,
+            "precision": miner.config.precision,
+            "storage": miner.config.storage,
+        },
         "crawl": {
             "wall_s": round(crawl_span.duration, 6),
             "records": int(crawl_span.metrics.get("records", 0)),
@@ -80,6 +110,116 @@ def run_benchmark(seed: int, scale: float) -> Dict[str, Any]:
     }
 
 
+def _baseline_stage_walls(baseline: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        row["stage"]: float(row["wall_s"])
+        for row in baseline.get("pipeline", {}).get("stages", [])
+    }
+
+
+def annotate_speedups(
+    payload: Dict[str, Any], baseline: Optional[Dict[str, Any]]
+) -> None:
+    """Add ``speedup_vs_baseline`` to every pipeline stage row in place."""
+    if baseline is None:
+        return
+    base_walls = _baseline_stage_walls(baseline)
+    for row in payload["pipeline"]["stages"]:
+        base = base_walls.get(row["stage"])
+        if base and row["wall_s"] > 0:
+            row["speedup_vs_baseline"] = round(base / row["wall_s"], 2)
+
+
+def compare_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_wall: float = DEFAULT_MIN_WALL,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, report_lines)`` for a fresh run against the baseline.
+
+    A pipeline stage fails when its wall time exceeds the baseline's by
+    more than ``tolerance`` (fractional); baseline stages under
+    ``min_wall`` seconds are reported but never failed, since timing noise
+    dominates them. The deterministic summary must match exactly.
+    """
+    failures: List[str] = []
+    lines: List[str] = []
+    base_walls = _baseline_stage_walls(baseline)
+    for row in fresh["pipeline"]["stages"]:
+        stage, wall = row["stage"], float(row["wall_s"])
+        base = base_walls.get(stage)
+        if base is None:
+            lines.append(f"{stage:24s} {wall:8.3f}s  (no baseline)")
+            continue
+        ratio = wall / base if base > 0 else float("inf")
+        note = f"{stage:24s} {wall:8.3f}s  baseline {base:8.3f}s  x{ratio:.2f}"
+        if base < min_wall:
+            lines.append(note + "  (below min-wall, not gated)")
+        elif wall > base * (1.0 + tolerance):
+            lines.append(note + "  REGRESSION")
+            failures.append(
+                f"{stage}: {wall:.3f}s vs baseline {base:.3f}s "
+                f"(>{tolerance:.0%} regression)"
+            )
+        else:
+            lines.append(note)
+    missing = sorted(
+        set(base_walls) - {r["stage"] for r in fresh["pipeline"]["stages"]}
+    )
+    for stage in missing:
+        failures.append(f"{stage}: present in baseline but missing from run")
+    if fresh["summary"] != baseline["summary"]:
+        drift = sorted(
+            k
+            for k in set(fresh["summary"]) | set(baseline["summary"])
+            if fresh["summary"].get(k) != baseline["summary"].get(k)
+        )
+        failures.append(
+            "summary drifted from baseline (determinism regression): "
+            + ", ".join(drift)
+        )
+    return failures, lines
+
+
+def _load_baseline(path: str) -> Optional[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        # e.g. a fresh mktemp output target: no baseline to annotate from.
+        return None
+    if not isinstance(payload, dict) or "pipeline" not in payload:
+        return None
+    return payload
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    baseline = _load_baseline(args.compare)
+    if baseline is None:
+        print(f"no usable baseline at {args.compare}; nothing to compare")
+        return 1
+    scenario = baseline.get("scenario", {})
+    seed = int(scenario.get("seed", args.seed))
+    scale = float(scenario.get("scale", DEFAULT_SCALE))
+    payload = run_benchmark(seed=seed, scale=scale)
+    failures, lines = compare_reports(
+        payload, baseline, tolerance=args.tolerance, min_wall=args.min_wall
+    )
+    print(f"bench compare vs {args.compare} (seed {seed}, scale {scale}):")
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print(f"\nbench compare: FAILED ({len(failures)} issue(s))")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nbench compare: ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench", description="pipeline benchmark harness"
@@ -92,13 +232,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help=f"tiny run (scale {SMOKE_SCALE}) to exercise "
                              "the harness in CI")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the distance kernels")
+    parser.add_argument("--tile-size", type=int, default=None,
+                        help="kernel row-tile size (default MinerConfig's)")
+    parser.add_argument("--precision", choices=("float64", "float32"),
+                        default="float64", help="distance matrix dtype")
+    parser.add_argument("--storage", choices=("dense", "condensed"),
+                        default="dense", help="distance matrix storage")
+    parser.add_argument("--compare", nargs="?", const=DEFAULT_BASELINE,
+                        metavar="BASELINE",
+                        help="re-run the committed baseline's scenario and "
+                             "fail on stage wall-time regressions or summary "
+                             "drift (no report is written)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fractional wall-time regression allowed per "
+                             f"stage (default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--min-wall", type=float, default=DEFAULT_MIN_WALL,
+                        help="skip gating stages whose baseline wall time is "
+                             f"below this many seconds (default "
+                             f"{DEFAULT_MIN_WALL})")
     args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        return _run_compare(args)
 
     scale = args.scale
     if scale is None:
         scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
 
-    payload = run_benchmark(seed=args.seed, scale=scale)
+    baseline = _load_baseline(args.output)
+    payload = run_benchmark(
+        seed=args.seed,
+        scale=scale,
+        workers=args.workers,
+        tile_size=args.tile_size,
+        precision=args.precision,
+        storage=args.storage,
+    )
+    if (
+        baseline is not None
+        and baseline.get("scenario") == payload["scenario"]
+        and baseline.get("perf", payload["perf"]) == payload["perf"]
+    ):
+        annotate_speedups(payload, baseline)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 

@@ -28,6 +28,10 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="master seed")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="fraction of the paper's URL population")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the pairwise-distance "
+                             "kernels (results are bit-identical for any "
+                             "count; default 1 = serial)")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree after the run")
     parser.add_argument("--trace-json", metavar="PATH",
@@ -80,15 +84,18 @@ def cmd_analyze(args) -> int:
     tracer = _make_tracer(args)
     if args.records:
         corpus = load_records(args.records)
-        miner = PushAdMiner(config=MinerConfig(seed=args.seed), tracer=tracer)
+        miner = PushAdMiner(
+            config=MinerConfig(seed=args.seed, workers=args.workers),
+            tracer=tracer,
+        )
         result = miner.run([r for r in corpus if r.valid])
         dataset = None
     else:
         dataset = _crawl_dataset(args, tracer)
         corpus = dataset.records
-        result = PushAdMiner.for_dataset(dataset, tracer=tracer).run(
-            dataset.valid_records
-        )
+        result = PushAdMiner.for_dataset(
+            dataset, tracer=tracer, workers=args.workers
+        ).run(dataset.valid_records)
 
     print("Table 3 — summary")
     summary = result.summary()
@@ -219,9 +226,9 @@ def cmd_experiments(args) -> int:
 def cmd_detect(args) -> int:
     tracer = _make_tracer(args)
     dataset = _crawl_dataset(args, tracer)
-    result = PushAdMiner.for_dataset(dataset, tracer=tracer).run(
-        dataset.valid_records
-    )
+    result = PushAdMiner.for_dataset(
+        dataset, tracer=tracer, workers=args.workers
+    ).run(dataset.valid_records)
     malicious = (
         result.labeling.confirmed_malicious_ids
         | result.suspicion.confirmed_malicious_ids

@@ -9,12 +9,14 @@ reducible linkages such as average) and a vectorized silhouette.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.silhouette import average_silhouette
+from repro.perf import condensed_to_square
 from repro.util.graph import UnionFind
 
 
@@ -80,25 +82,41 @@ class Linkage:
         Lets users hand the dendrogram to ``scipy.cluster.hierarchy``
         (``dendrogram``, ``fcluster``, ...). Merges are re-labeled into
         scipy's convention: row *i* creates cluster id ``n + i`` and may
-        only reference ids created by earlier rows, which a topological
-        pass guarantees even under height ties.
+        only reference ids created by earlier rows. A single topological
+        pass keyed on resolved ids guarantees that even under height ties
+        — a ready-merge min-heap on the height-sorted position emits the
+        earliest resolvable merge first, exactly like the old quadratic
+        pending-list scan, in O(n log n).
         """
         n = self.n_leaves
         out = np.zeros((max(n - 1, 0), 4))
         relabel = {leaf: leaf for leaf in range(n)}
-        pending = list(self.merges)  # already height-sorted
-        row = 0
-        while pending:
-            for index, merge in enumerate(pending):
-                if merge.id_a in relabel and merge.id_b in relabel:
-                    break
+        # merge index -> count of still-unresolved child ids; unresolved
+        # id -> merge indices waiting on it.
+        blocked: Dict[int, int] = {}
+        waiting: Dict[int, List[int]] = {}
+        ready: List[int] = []
+        for index, merge in enumerate(self.merges):  # already height-sorted
+            missing = [i for i in (merge.id_a, merge.id_b) if i not in relabel]
+            if missing:
+                blocked[index] = len(missing)
+                for unresolved in missing:
+                    waiting.setdefault(unresolved, []).append(index)
             else:
-                raise RuntimeError("inconsistent dendrogram")
-            merge = pending.pop(index)
+                heapq.heappush(ready, index)
+        row = 0
+        while ready:
+            merge = self.merges[heapq.heappop(ready)]
             a, b = relabel[merge.id_a], relabel[merge.id_b]
             out[row] = (min(a, b), max(a, b), merge.height, merge.size)
             relabel[merge.new_id] = n + row
             row += 1
+            for index in waiting.pop(merge.new_id, ()):
+                blocked[index] -= 1
+                if blocked[index] == 0:
+                    heapq.heappush(ready, index)
+        if row != len(self.merges):
+            raise RuntimeError("inconsistent dendrogram")
         return out
 
 
@@ -111,16 +129,33 @@ class AgglomerativeClusterer:
         self.linkage_method = linkage_method
 
     def fit(self, distances: np.ndarray) -> Linkage:
-        """Build the dendrogram from a symmetric pairwise distance matrix."""
-        if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
-            raise ValueError("distance matrix must be square")
-        n = distances.shape[0]
+        """Build the dendrogram from a pairwise distance matrix.
+
+        Accepts either a symmetric square matrix or condensed
+        (strict-upper-triangle, :mod:`repro.perf.condensed` layout)
+        storage; either way the algorithm works on a fresh float64 square
+        work matrix.
+        """
+        if distances.ndim == 1:
+            # Condensed storage: m = n(n-1)/2 entries; solve for n. The
+            # expansion is already a fresh float64 square, so it doubles
+            # as the work matrix without another copy.
+            m = distances.size
+            n = int(round((1.0 + np.sqrt(1.0 + 8.0 * m)) / 2.0))
+            if n * (n - 1) // 2 != m:
+                raise ValueError(
+                    f"{m} entries is not a valid condensed matrix size"
+                )
+            work = condensed_to_square(distances, n, dtype=np.float64)
+        elif distances.ndim == 2 and distances.shape[0] == distances.shape[1]:
+            n = distances.shape[0]
+            work = distances.astype(np.float64, copy=True)
+        else:
+            raise ValueError("distance matrix must be square or condensed")
         if n == 0:
             return Linkage(0, [])
         if n == 1:
             return Linkage(1, [])
-
-        work = distances.astype(np.float64, copy=True)
         np.fill_diagonal(work, np.inf)
         active = np.ones(n, dtype=bool)
         sizes = np.ones(n, dtype=np.float64)
@@ -185,6 +220,199 @@ class CutSelection:
     n_candidates: int
 
 
+class IncrementalCutSweep:
+    """Flat labelings at nondecreasing thresholds, maintained incrementally.
+
+    :meth:`Linkage.cut` rebuilds a :class:`UnionFind` over every merge for
+    each threshold. A sweep instead walks the height-sorted merges once:
+    advancing to a higher threshold only applies the merges in between,
+    and relabeling is O(n). The union sequence for any threshold is a
+    prefix of the same order :meth:`Linkage.cut` uses, so the labels are
+    identical array-for-array — a property the tests assert.
+    """
+
+    def __init__(self, linkage: Linkage):
+        self._linkage = linkage
+        self._uf = UnionFind(range(linkage.n_leaves))
+        for merge in linkage.merges:
+            self._uf.add(merge.new_id)
+        self._position = 0
+        self._last_threshold = -np.inf
+
+    def labels_at(self, threshold: float) -> np.ndarray:
+        """Cluster labels at ``threshold`` (must be nondecreasing)."""
+        if threshold < self._last_threshold:
+            raise ValueError(
+                f"sweep thresholds must be nondecreasing: {threshold} < "
+                f"{self._last_threshold}"
+            )
+        self._last_threshold = threshold
+        merges = self._linkage.merges
+        while (
+            self._position < len(merges)
+            and merges[self._position].height <= threshold
+        ):
+            merge = merges[self._position]
+            self._uf.union(merge.id_a, merge.new_id)
+            self._uf.union(merge.id_b, merge.new_id)
+            self._position += 1
+        labels = np.empty(self._linkage.n_leaves, dtype=np.int64)
+        canon: Dict[object, int] = {}
+        for leaf in range(self._linkage.n_leaves):
+            root = self._uf.find(leaf)
+            if root not in canon:
+                canon[root] = len(canon)
+            labels[leaf] = canon[root]
+        return labels
+
+
+def _dependency_order(linkage: Linkage) -> List[Merge]:
+    """Height-sorted merges, reordered so children precede parents.
+
+    ``Linkage.merges`` sorts by height with a stable sort, which under
+    height TIES may place a parent merge before the merge that created
+    one of its children. Sweeps that materialize per-cluster state (the
+    silhouette sweep's mean columns) need the creating merge applied
+    first. Reordering only within equal-height runs is threshold-safe:
+    tied merges always fall on the same side of any cut. The Kahn pass
+    with a min-heap on height-sorted position keeps the order
+    deterministic and, outside ties, unchanged.
+    """
+    ordered: List[Merge] = []
+    emitted = set(range(linkage.n_leaves))
+    blocked: Dict[int, int] = {}
+    waiting: Dict[int, List[int]] = {}
+    ready: List[int] = []
+    for index, merge in enumerate(linkage.merges):
+        missing = [i for i in (merge.id_a, merge.id_b) if i not in emitted]
+        if missing:
+            blocked[index] = len(missing)
+            for unresolved in missing:
+                waiting.setdefault(unresolved, []).append(index)
+        else:
+            heapq.heappush(ready, index)
+    while ready:
+        index = heapq.heappop(ready)
+        merge = linkage.merges[index]
+        ordered.append(merge)
+        emitted.add(merge.new_id)
+        for waiter in waiting.pop(merge.new_id, ()):
+            blocked[waiter] -= 1
+            if blocked[waiter] == 0:
+                heapq.heappush(ready, waiter)
+    if len(ordered) != len(linkage.merges):
+        raise RuntimeError("inconsistent dendrogram")
+    return ordered
+
+
+class IncrementalSilhouetteSweep:
+    """Average silhouette at nondecreasing thresholds, O(n*k) per score.
+
+    Scoring a cut from scratch costs O(n^2) (permute + reduce the full
+    distance matrix). A sweep instead maintains, across the height-sorted
+    merge sequence, each point's MEAN distance to every live cluster: a
+    column matrix ``M`` (compacted, live columns first) plus cluster
+    sizes. A merge replaces two columns by their size-weighted mean in
+    O(n); scoring a threshold is then one masked min-reduction over the
+    live columns. Column means are accumulated along the merge tree
+    instead of in index order, so scores can differ from
+    :func:`~repro.core.silhouette.silhouette_samples` in the last few
+    ulps — the equivalence tests bound that, and the end-to-end tests pin
+    the resulting cut selection bit-for-bit.
+    """
+
+    def __init__(self, linkage: Linkage, distances: np.ndarray):
+        n = linkage.n_leaves
+        if distances.shape != (n, n):
+            raise ValueError(
+                f"distance matrix shape {distances.shape} does not match "
+                f"{n} leaves"
+            )
+        self._linkage = linkage
+        self._n = n
+        # Column j starts as the singleton cluster {j}: its mean-distance
+        # column is exactly the distance column.
+        self._means = np.array(distances, dtype=np.float64, copy=True)
+        self._counts = np.ones(n, dtype=np.float64)
+        self._k = n
+        self._col_of: Dict[int, int] = {leaf: leaf for leaf in range(n)}
+        self._id_of: List[int] = list(range(n))
+        self._uf = UnionFind(range(n))
+        for merge in linkage.merges:
+            self._uf.add(merge.new_id)
+        self._order = _dependency_order(linkage)
+        self._position = 0
+        self._last_threshold = -np.inf
+
+    def _apply(self, merge: Merge) -> None:
+        # _col_of is keyed by union-find ROOT (which need not be the
+        # cluster id the dendrogram assigned), so resolve before uniting.
+        col_a = self._col_of.pop(self._uf.find(merge.id_a))
+        col_b = self._col_of.pop(self._uf.find(merge.id_b))
+        size_a, size_b = self._counts[col_a], self._counts[col_b]
+        self._means[:, col_a] = (
+            size_a * self._means[:, col_a] + size_b * self._means[:, col_b]
+        ) / (size_a + size_b)
+        self._counts[col_a] = size_a + size_b
+        self._uf.union(merge.id_a, merge.new_id)
+        self._uf.union(merge.id_b, merge.new_id)
+        merged_root = self._uf.find(merge.new_id)
+        self._col_of[merged_root] = col_a
+        self._id_of[col_a] = merged_root
+        # Compact: move the last live column into the freed slot so the
+        # live block stays contiguous at [:, :k].
+        last = self._k - 1
+        if col_b != last:
+            self._means[:, col_b] = self._means[:, last]
+            self._counts[col_b] = self._counts[last]
+            moved = self._id_of[last]
+            self._id_of[col_b] = moved
+            self._col_of[moved] = col_b
+        self._k -= 1
+
+    def score_at(self, threshold: float) -> float:
+        """Average silhouette at ``threshold`` (must be nondecreasing).
+
+        Matches :func:`~repro.core.silhouette.average_silhouette`'s
+        conventions: singleton points score 0; degenerate cuts (fewer
+        than 2 clusters, or every point a cluster) score -1.0.
+        """
+        if threshold < self._last_threshold:
+            raise ValueError(
+                f"sweep thresholds must be nondecreasing: {threshold} < "
+                f"{self._last_threshold}"
+            )
+        self._last_threshold = threshold
+        merges = self._order
+        while (
+            self._position < len(merges)
+            and merges[self._position].height <= threshold
+        ):
+            self._apply(merges[self._position])
+            self._position += 1
+        k, n = self._k, self._n
+        if k < 2 or k >= n:
+            return -1.0
+        own = np.empty(n, dtype=np.intp)
+        col_of, find = self._col_of, self._uf.find
+        for leaf in range(n):
+            own[leaf] = col_of[find(leaf)]
+        idx = np.arange(n)
+        live = self._means[:, :k]
+        own_counts = self._counts[own]
+        own_means = live[idx, own].copy()
+        live[idx, own] = np.inf
+        b = live.min(axis=1)
+        live[idx, own] = own_means  # restore the masked entries
+        # sum-to-own / (count - 1), from the mean: sum = mean * count.
+        a = own_means * own_counts / np.maximum(own_counts - 1.0, 1.0)
+        denom = np.maximum(a, b)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            s = np.where(denom > 0, (b - a) / np.maximum(denom, 1e-12), 0.0)
+        s[own_counts == 1] = 0.0  # singleton convention
+        return float(s.mean())
+
+
 def evaluate_cuts(
     linkage: Linkage,
     distances: np.ndarray,
@@ -223,16 +451,30 @@ def evaluate_cuts(
             and n - np.searchsorted(heights, t, side="right") >= min_clusters
         ] or [min(float(heights[0]), max_threshold)]
 
-    best: Tuple[float, Optional[np.ndarray], float] = (0.0, None, -np.inf)
-    for threshold in candidates:
-        labels = linkage.cut(threshold)
-        score = average_silhouette(distances, labels)
-        if score > best[2]:
-            best = (threshold, labels, score)
-    if best[1] is None:
+    # Score every distinct threshold in one ascending incremental sweep
+    # (each merge is applied exactly once across all candidates), then pick
+    # the winner in the caller's candidate order — same strict-improvement
+    # tie-breaking as scoring candidates one by one.
+    candidate_list = [float(t) for t in candidates]
+    sweep = IncrementalSilhouetteSweep(linkage, distances)
+    scores: Dict[float, float] = {}
+    for threshold in sorted(set(candidate_list)):
+        scores[threshold] = sweep.score_at(threshold)
+
+    best: Tuple[float, float] = (0.0, -np.inf)
+    found = False
+    for threshold in candidate_list:
+        if scores[threshold] > best[1]:
+            best = (threshold, scores[threshold])
+            found = True
+    if not found:
         threshold = float(np.median(heights))
-        return CutSelection(threshold, linkage.cut(threshold), -1.0, len(candidates))
-    return CutSelection(best[0], best[1], best[2], len(candidates))
+        return CutSelection(
+            threshold, linkage.cut(threshold), -1.0, len(candidate_list)
+        )
+    return CutSelection(
+        best[0], linkage.cut(best[0]), best[1], len(candidate_list)
+    )
 
 
 def select_cut(

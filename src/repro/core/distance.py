@@ -1,4 +1,13 @@
-"""Combined WPN distance: mean of text and URL-path distances (section 5.1.1)."""
+"""Combined WPN distance: mean of text and URL-path distances (section 5.1.1).
+
+The pairwise matrices are assembled tile by tile from the blocked kernels
+in :mod:`repro.perf.kernels` under an injectable
+:class:`~repro.perf.ExecutionPlan` (serial by default, process-parallel
+opt-in) — results are bit-identical for any tile size or worker count.
+Dense float64 is the default; ``precision="float32"`` and
+``storage="condensed"`` (strict upper triangle of ``total`` only) are
+opt-in footprint reducers.
+"""
 
 from __future__ import annotations
 
@@ -10,32 +19,99 @@ import numpy as np
 from repro.core.features import WpnFeatures, extract_all
 from repro.core.records import WpnRecord
 from repro.core.textsim import SoftCosineModel
-from repro.core.urlsim import url_path_distance_matrix
+from repro.core.urlsim import url_membership_operands
+from repro.perf import (
+    ExecutionPlan,
+    PairwiseOperands,
+    combined_distance_tile,
+    condensed_size,
+    condensed_to_square,
+)
+
+PRECISIONS = ("float64", "float32")
+STORAGES = ("dense", "condensed")
 
 
 @dataclass
 class DistanceMatrices:
-    """The three pairwise matrices the clustering stage consumes."""
+    """The pairwise matrices the clustering stage consumes.
 
-    text: np.ndarray
-    url: np.ndarray
+    In the default dense storage, ``text``, ``url``, and ``total`` are all
+    square. In condensed storage only ``total`` is kept, as the strict
+    upper triangle (row-major, :mod:`repro.perf.condensed` layout) — pass
+    ``n`` to size it; ``text`` and ``url`` are ``None``.
+    """
+
+    text: Optional[np.ndarray]
+    url: Optional[np.ndarray]
     total: np.ndarray
+    n: Optional[int] = None
 
     def __post_init__(self):
-        for name in ("text", "url", "total"):
+        if self.total.ndim == 2:
+            if self.total.shape[0] != self.total.shape[1]:
+                raise ValueError("total distance matrix must be square")
+            if self.n is None:
+                self.n = self.total.shape[0]
+            elif self.n != self.total.shape[0]:
+                raise ValueError("n does not match the total matrix shape")
+        elif self.total.ndim == 1:
+            if self.n is None:
+                raise ValueError("condensed storage requires an explicit n")
+            if self.total.size != condensed_size(self.n):
+                raise ValueError(
+                    f"condensed total for n={self.n} needs "
+                    f"{condensed_size(self.n)} entries, got {self.total.size}"
+                )
+        else:
+            raise ValueError("total must be a square matrix or condensed 1-D")
+        for name in ("text", "url"):
             matrix = getattr(self, name)
-            if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            if matrix is None:
+                continue
+            if matrix.ndim != 2 or matrix.shape != (self.n, self.n):
                 raise ValueError(f"{name} distance matrix must be square")
 
     @property
     def size(self) -> int:
-        return self.total.shape[0]
+        assert self.n is not None  # __post_init__ always resolves it
+        return self.n
+
+    @property
+    def storage(self) -> str:
+        """``"dense"`` or ``"condensed"``, inferred from ``total``."""
+        return "condensed" if self.total.ndim == 1 else "dense"
+
+    @property
+    def component_bytes(self) -> int:
+        """Bytes held by every materialized matrix (text + url + total)."""
+        return sum(
+            int(m.nbytes)
+            for m in (self.text, self.url, self.total)
+            if m is not None
+        )
+
+    def total_square(self, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """The combined distance as a square matrix.
+
+        Dense storage returns ``total`` as-is (no copy) unless a different
+        ``dtype`` is requested; condensed storage expands.
+        """
+        if self.total.ndim == 2:
+            if dtype is None or self.total.dtype == np.dtype(dtype):
+                return self.total
+            return self.total.astype(dtype)
+        return condensed_to_square(self.total, self.size, dtype=dtype)
 
 
 def compute_distances(
     records: Sequence[WpnRecord],
     features: Optional[List[WpnFeatures]] = None,
     text_model: Optional[SoftCosineModel] = None,
+    *,
+    plan: Optional[ExecutionPlan] = None,
+    precision: str = "float64",
+    storage: str = "dense",
 ) -> DistanceMatrices:
     """Full pairwise distances for a corpus of valid WPN records.
 
@@ -45,9 +121,18 @@ def compute_distances(
     ``text_model`` contract: a *fitted* model is used as-is; an *unfitted*
     model contributes only its hyperparameters — an internal
     :meth:`~repro.core.textsim.SoftCosineModel.clone` is fitted on this
-    corpus, and the caller's object is never mutated.  (Earlier versions
-    fitted the caller's model in place as a hidden side effect.)
+    corpus, and the caller's object is never mutated.
+
+    ``plan`` controls tiling and parallelism (serial,
+    :data:`~repro.perf.DEFAULT_TILE_SIZE` tiles by default); any plan
+    yields bit-identical matrices. Every tile is computed in float64;
+    ``precision="float32"`` casts on store. ``storage="condensed"`` keeps
+    only the upper triangle of ``total`` (``text``/``url`` are ``None``).
     """
+    if precision not in PRECISIONS:
+        raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
+    if storage not in STORAGES:
+        raise ValueError(f"storage must be one of {STORAGES}, got {storage!r}")
     if features is None:
         features = extract_all(records)
     if len(features) != len(records):
@@ -57,7 +142,46 @@ def compute_distances(
     model = text_model if text_model is not None else SoftCosineModel()
     if not model.is_fitted:
         model = model.clone().fit(corpus)
-    text = model.distance_matrix(corpus)
-    url = url_path_distance_matrix([f.url_tokens for f in features])
-    total = (text + url) / 2.0
-    return DistanceMatrices(text=text, url=url, total=total)
+
+    bow_normed, doc_emb, zero_rows = model.corpus_operands(corpus)
+    member, sizes, empty = url_membership_operands(
+        [f.url_tokens for f in features]
+    )
+    operands = PairwiseOperands(
+        bow_normed=bow_normed,
+        doc_emb=doc_emb,
+        zero_rows=zero_rows,
+        blend=model.blend,
+        url_member=member,
+        url_sizes=sizes,
+        url_empty=empty,
+    )
+
+    plan = plan if plan is not None else ExecutionPlan()
+    n = len(records)
+    dtype = np.float64 if precision == "float64" else np.float32
+    tiles = plan.tiles(n)
+    results = plan.stream(combined_distance_tile, operands, tiles)
+
+    if storage == "dense":
+        text_out = np.empty((n, n), dtype=dtype)
+        url_out = np.empty((n, n), dtype=dtype)
+        total_out = np.empty((n, n), dtype=dtype)
+        for tile, (text_rows, url_rows) in zip(tiles, results):
+            span = slice(tile.start, tile.stop)
+            text_out[span] = text_rows
+            url_out[span] = url_rows
+            total_out[span] = (text_rows + url_rows) / 2.0
+        return DistanceMatrices(text=text_out, url=url_out, total=total_out)
+
+    condensed = np.empty(condensed_size(n), dtype=dtype)
+    offset = 0
+    for tile, (text_rows, url_rows) in zip(tiles, results):
+        total_rows = (text_rows + url_rows) / 2.0
+        for i in range(tile.start, tile.stop):
+            length = n - i - 1
+            condensed[offset : offset + length] = total_rows[
+                i - tile.start, i + 1 :
+            ]
+            offset += length
+    return DistanceMatrices(text=None, url=None, total=condensed, n=n)

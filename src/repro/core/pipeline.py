@@ -45,7 +45,12 @@ from repro.core.clustering import (
     Linkage,
     evaluate_cuts,
 )
-from repro.core.distance import DistanceMatrices, compute_distances
+from repro.core.distance import (
+    PRECISIONS,
+    STORAGES,
+    DistanceMatrices,
+    compute_distances,
+)
 from repro.core.features import WpnFeatures, extract_all
 from repro.core.labeling import LabelingResult, label_malicious_clusters
 from repro.core.metacluster import MetaCluster, build_meta_clusters, meta_of_cluster
@@ -55,6 +60,7 @@ from repro.core.suspicious import SuspicionResult, find_suspicious
 from repro.core.textsim import SoftCosineModel
 from repro.core.verification import ManualVerificationOracle
 from repro.obs import Tracer
+from repro.perf import DEFAULT_TILE_SIZE, ExecutionPlan
 
 
 @dataclass
@@ -216,6 +222,13 @@ class MinerConfig:
     Blocklist rates default to the paper's empirical values;
     :meth:`from_scenario` derives them from a
     :class:`~repro.webenv.scenario.ScenarioConfig` instead.
+
+    The performance knobs (``tile_size``, ``workers``, ``precision``,
+    ``storage``) select how the pairwise-distance stage executes without
+    changing *what* it computes: any tile size or worker count yields
+    bit-identical matrices, while ``precision="float32"`` /
+    ``storage="condensed"`` trade exactness for footprint (see
+    ``docs/PERFORMANCE.md``).
     """
 
     seed: int = 0
@@ -226,6 +239,10 @@ class MinerConfig:
     unconfirmable_rate: float = 0.02
     cut_threshold: Optional[float] = None
     months_elapsed: int = 1
+    tile_size: int = DEFAULT_TILE_SIZE
+    workers: int = 1
+    precision: str = "float64"
+    storage: str = "dense"
 
     def __post_init__(self) -> None:
         for name in (
@@ -237,6 +254,18 @@ class MinerConfig:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         if self.months_elapsed < 0:
             raise ValueError("months_elapsed must be >= 0")
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        if self.storage not in STORAGES:
+            raise ValueError(
+                f"storage must be one of {STORAGES}, got {self.storage!r}"
+            )
 
     @classmethod
     def from_scenario(
@@ -420,23 +449,31 @@ class PushAdMiner:
         features: Optional[List[WpnFeatures]] = None,
         text_model: Optional[SoftCosineModel] = None,
     ) -> DistanceMatrices:
-        """The text / URL / combined pairwise distance matrices."""
+        """The text / URL / combined pairwise distance matrices.
+
+        Executed by the blocked kernels under this miner's
+        :class:`~repro.perf.ExecutionPlan` (``tile_size`` / ``workers`` /
+        ``precision`` / ``storage`` config knobs).
+        """
         with self.tracer.span("pipeline.distances") as span:
+            cfg = self.config
+            plan = ExecutionPlan(workers=cfg.workers, tile_size=cfg.tile_size)
             distances = compute_distances(
                 records,
                 features=features,
                 text_model=text_model if text_model is not None else self.text_model,
+                plan=plan,
+                precision=cfg.precision,
+                storage=cfg.storage,
             )
             span.gauge("records", len(records))
             span.gauge("matrix_shape", distances.size)
-            span.gauge(
-                "matrix_bytes",
-                int(
-                    distances.text.nbytes
-                    + distances.url.nbytes
-                    + distances.total.nbytes
-                ),
-            )
+            span.gauge("matrix_bytes", distances.component_bytes)
+            span.gauge("tiles", len(plan.tiles(len(records))))
+            span.gauge("tile_size", plan.tile_size)
+            span.gauge("workers", plan.workers)
+            span.gauge("precision_bits", 32 if cfg.precision == "float32" else 64)
+            span.gauge("condensed", int(cfg.storage == "condensed"))
             return distances
 
     def stage_linkage(self, distances: DistanceMatrices) -> Linkage:
@@ -445,26 +482,36 @@ class PushAdMiner:
             linkage = AgglomerativeClusterer("average").fit(distances.total)
             span.gauge("leaves", linkage.n_leaves)
             span.gauge("merges", len(linkage.merges))
-            # fit() works on a float64 copy of the distance matrix.
-            span.gauge("work_bytes", int(distances.total.shape[0] ** 2 * 8))
+            # fit() works on a float64 square copy of the distance matrix
+            # (expanded in place when the input is condensed).
+            span.gauge("work_bytes", int(distances.size ** 2 * 8))
             return linkage
 
     def stage_cut(
         self, linkage: Linkage, distances: DistanceMatrices
     ) -> CutSelection:
-        """Silhouette-selected (or configured fixed) dendrogram cut."""
+        """Silhouette-selected (or configured fixed) dendrogram cut.
+
+        Candidates are scored by one ascending incremental sweep over the
+        merge heights (labels maintained in place, silhouette row-sums via
+        ``np.add.reduceat``) instead of rebuilding the labeling per cut.
+        """
         with self.tracer.span("pipeline.cut") as span:
+            total = distances.total_square()
             fixed = self.config.cut_threshold
             if fixed is not None:
                 labels = linkage.cut(fixed)
-                score = average_silhouette(distances.total, labels)
+                score = average_silhouette(total, labels)
                 selection = CutSelection(fixed, labels, score, 1)
             else:
-                selection = evaluate_cuts(linkage, distances.total)
+                selection = evaluate_cuts(linkage, total)
             span.gauge("candidates_evaluated", selection.n_candidates)
             span.gauge("threshold", selection.threshold)
             span.gauge("silhouette", selection.score)
             span.gauge("clusters", int(selection.labels.max()) + 1)
+            span.gauge("merges_swept", len(linkage.merges))
+            span.gauge("matrix_bytes", int(total.nbytes))
+            span.gauge("workers", self.config.workers)
             return selection
 
     def stage_campaigns(

@@ -22,12 +22,13 @@ final similarity blends the soft cosine with the exact bag-of-words cosine
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
 from repro.core.embeddings import PpmiSvdEmbeddings, SgnsEmbeddings
+from repro.perf import Tile, soft_cosine_similarity_tile, text_distance_tile
 
 
 class SoftCosineModel:
@@ -119,41 +120,46 @@ class SoftCosineModel:
             (data, (rows, cols)), shape=(len(corpus), len(self.vocabulary))
         )
 
-    def similarity_matrix(self, corpus: Sequence[Sequence[str]]) -> np.ndarray:
-        """Pairwise text similarity in [0, 1] for the tokenized corpus."""
+    def corpus_operands(
+        self, corpus: Sequence[Sequence[str]]
+    ) -> Tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+        """``(bow_normed, doc_emb, zero_rows)`` for the pairwise kernels.
+
+        ``bow_normed`` is the L2-normalized bag-of-words matrix,
+        ``doc_emb`` the row-normalized summed word embeddings, and
+        ``zero_rows`` flags documents with a zero embedding (tiny
+        vocabularies, all-OOV) that must fall back to the exact cosine so
+        identical messages still score 1.
+        """
         if not self.vocabulary:
             raise RuntimeError("model is not fitted; call fit() first")
         bow = self._bow_matrix(corpus)
 
-        # Exact bag-of-words cosine.
         norms = np.sqrt(np.asarray(bow.multiply(bow).sum(axis=1)).ravel())
         norms[norms == 0.0] = 1.0
-        bow_normed = sparse.diags(1.0 / norms) @ bow
-        cos_exact = np.asarray((bow_normed @ bow_normed.T).todense())
+        bow_normed = sparse.csr_matrix(sparse.diags(1.0 / norms) @ bow)
 
-        # Soft cosine via summed word embeddings.
         doc_emb = bow @ self.embeddings
         raw_norms = np.linalg.norm(doc_emb, axis=1)
         safe_norms = np.where(raw_norms == 0.0, 1.0, raw_norms)
         doc_emb = doc_emb / safe_norms[:, None]
-        cos_soft = doc_emb @ doc_emb.T
-        # Documents with a zero embedding (tiny vocabularies, all-OOV) have
-        # no soft-cosine signal; fall back to the exact cosine for pairs
-        # involving them so identical messages still score 1.
-        zero = raw_norms == 0.0
-        if zero.any():
-            fallback = np.outer(zero, np.ones_like(zero, dtype=bool))
-            fallback |= fallback.T
-            cos_soft = np.where(fallback, cos_exact, cos_soft)
+        return bow_normed, doc_emb, raw_norms == 0.0
 
-        sim = self.blend * cos_exact + (1.0 - self.blend) * cos_soft
-        np.clip(sim, 0.0, 1.0, out=sim)
-        np.fill_diagonal(sim, 1.0)
-        return sim
+    def similarity_matrix(self, corpus: Sequence[Sequence[str]]) -> np.ndarray:
+        """Pairwise text similarity in [0, 1] for the tokenized corpus.
+
+        Computed by the tile-size-invariant kernel in
+        :mod:`repro.perf.kernels`; the result is bitwise symmetric, so no
+        symmetrization pass is needed (or performed).
+        """
+        bow_normed, doc_emb, zero_rows = self.corpus_operands(corpus)
+        return soft_cosine_similarity_tile(
+            bow_normed, doc_emb, zero_rows, self.blend, Tile(0, len(corpus))
+        )
 
     def distance_matrix(self, corpus: Sequence[Sequence[str]]) -> np.ndarray:
         """``1 - similarity`` for the tokenized corpus (symmetric, 0 diag)."""
-        dist = 1.0 - self.similarity_matrix(corpus)
-        np.clip(dist, 0.0, 1.0, out=dist)
-        np.fill_diagonal(dist, 0.0)
-        return (dist + dist.T) / 2.0
+        bow_normed, doc_emb, zero_rows = self.corpus_operands(corpus)
+        return text_distance_tile(
+            bow_normed, doc_emb, zero_rows, self.blend, Tile(0, len(corpus))
+        )

@@ -2,22 +2,29 @@
 
 Token sets come from the landing URL path (directory components + page
 name) and query-string parameter names; domains and values are excluded.
-The whole-corpus pairwise matrix is computed with one sparse product.
+The pairwise matrix comes from the tile-size-invariant sparse kernel in
+:mod:`repro.perf.kernels`; this module only builds the membership
+operands (token vocabulary in first-seen order, so the matrix is
+deterministic for a given corpus order).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 
+from repro.perf import Tile, jaccard_distance_tile
 
-def url_path_distance_matrix(token_sets: Sequence[frozenset]) -> np.ndarray:
-    """Pairwise Jaccard distance between URL-path token sets.
 
-    Conventions (matching :func:`repro.util.textproc.jaccard_distance`):
-    two empty sets have distance 0; empty vs non-empty has distance 1.
+def url_membership_operands(
+    token_sets: Sequence[frozenset],
+) -> Tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+    """``(member, sizes, empty)`` kernel operands for the token sets.
+
+    ``member`` is the (n, vocabulary) 0/1 membership matrix, ``sizes`` the
+    per-set cardinalities, ``empty`` a bool mask of empty sets.
     """
     n = len(token_sets)
     vocabulary: Dict[str, int] = {}
@@ -25,9 +32,6 @@ def url_path_distance_matrix(token_sets: Sequence[frozenset]) -> np.ndarray:
         for token in tokens:
             if token not in vocabulary:
                 vocabulary[token] = len(vocabulary)
-
-    if not vocabulary:
-        return np.zeros((n, n))
 
     rows: List[int] = []
     cols: List[int] = []
@@ -38,17 +42,19 @@ def url_path_distance_matrix(token_sets: Sequence[frozenset]) -> np.ndarray:
     member = sparse.csr_matrix(
         (np.ones(len(rows)), (rows, cols)), shape=(n, len(vocabulary))
     )
-
-    intersection = np.asarray((member @ member.T).todense())
     sizes = np.asarray(member.sum(axis=1)).ravel()
-    union = sizes[:, None] + sizes[None, :] - intersection
+    return member, sizes, sizes == 0
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        distance = 1.0 - np.where(union > 0, intersection / np.maximum(union, 1e-12), 1.0)
-    # Both-empty pairs: union == 0 -> define distance 0.
-    empty = sizes == 0
-    both_empty = np.outer(empty, empty)
-    distance[both_empty] = 0.0
-    np.clip(distance, 0.0, 1.0, out=distance)
-    np.fill_diagonal(distance, 0.0)
-    return (distance + distance.T) / 2.0
+
+def url_path_distance_matrix(token_sets: Sequence[frozenset]) -> np.ndarray:
+    """Pairwise Jaccard distance between URL-path token sets.
+
+    Conventions (matching :func:`repro.util.textproc.jaccard_distance`):
+    two empty sets have distance 0; empty vs non-empty has distance 1.
+    The result is bitwise symmetric with a zero diagonal.
+    """
+    n = len(token_sets)
+    if n == 0:
+        return np.zeros((0, 0))
+    member, sizes, empty = url_membership_operands(token_sets)
+    return jaccard_distance_tile(member, sizes, empty, Tile(0, n))

@@ -1,0 +1,47 @@
+"""Deterministic compute kernels for the pairwise-distance hot path.
+
+``repro.perf`` holds the numeric machinery the analysis core runs its
+O(n^2) stages on:
+
+* :mod:`repro.perf.plan` — :class:`ExecutionPlan`, a deterministic tile
+  scheduler (serial by default, ``ProcessPoolExecutor`` opt-in) with fixed
+  static chunking and index-order reduction, so results are bit-identical
+  regardless of worker count;
+* :mod:`repro.perf.kernels` — blocked pairwise kernels: soft-cosine text
+  similarity and URL-token Jaccard computed in row tiles, with every
+  floating-point operation tile-size invariant;
+* :mod:`repro.perf.condensed` — condensed (upper-triangular) storage for
+  symmetric zero-diagonal distance matrices.
+
+The package sits below :mod:`repro.core` in the layering DAG: kernels only
+see numpy arrays and scipy sparse matrices, never records or models.
+"""
+
+from repro.perf.condensed import (
+    condensed_size,
+    condensed_to_square,
+    square_to_condensed,
+)
+from repro.perf.kernels import (
+    PairwiseOperands,
+    combined_distance_tile,
+    jaccard_distance_tile,
+    soft_cosine_similarity_tile,
+    text_distance_tile,
+)
+from repro.perf.plan import DEFAULT_TILE_SIZE, ExecutionPlan, Tile, row_tiles
+
+__all__ = [
+    "DEFAULT_TILE_SIZE",
+    "ExecutionPlan",
+    "PairwiseOperands",
+    "Tile",
+    "combined_distance_tile",
+    "condensed_size",
+    "condensed_to_square",
+    "jaccard_distance_tile",
+    "row_tiles",
+    "soft_cosine_similarity_tile",
+    "square_to_condensed",
+    "text_distance_tile",
+]

@@ -1,0 +1,114 @@
+"""Deterministic tile scheduling: serial or process-parallel, same bits.
+
+An :class:`ExecutionPlan` decides *how* a blocked kernel runs, never *what*
+it computes. Work is split into row :class:`Tile`\\ s by fixed static
+chunking (:func:`row_tiles`), every tile is computed by the same pure
+function, and results are reduced strictly in tile-index order. Because
+tiles are disjoint and the kernel functions are deterministic, the
+assembled output is bit-identical for any worker count — the property the
+``tests/perf`` suite locks down.
+
+The process backend uses :class:`concurrent.futures.ProcessPoolExecutor`;
+tile operands are pickled per task, so it only pays off once per-tile
+compute dominates serialization (large corpora). ``workers=1`` (the
+default) never touches multiprocessing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Sequence, TypeVar
+
+DEFAULT_TILE_SIZE = 512
+
+_R = TypeVar("_R")
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A half-open row range ``[start, stop)`` of a pairwise computation."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid tile [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def row_tiles(n: int, tile_size: int) -> List[Tile]:
+    """Static chunking of ``n`` rows into tiles of at most ``tile_size``.
+
+    The split depends only on ``(n, tile_size)`` — never on worker count or
+    runtime load — so a plan's work assignment is reproducible by
+    construction.
+    """
+    if tile_size < 1:
+        raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return [Tile(start, min(start + tile_size, n)) for start in range(0, n, tile_size)]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How blocked kernels execute: tile size and worker count.
+
+    ``workers=1`` runs tiles serially in-process; ``workers>1`` fans tiles
+    out to a :class:`ProcessPoolExecutor` and gathers results in submission
+    (= tile-index) order. Both paths produce bit-identical outputs.
+    """
+
+    workers: int = 1
+    tile_size: int = DEFAULT_TILE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
+
+    def tiles(self, n: int) -> List[Tile]:
+        """The static tile split this plan uses for an ``n``-row problem."""
+        return row_tiles(n, self.tile_size)
+
+    def stream(
+        self,
+        kernel: Callable[[Any, Tile], _R],
+        operands: Any,
+        tiles: Sequence[Tile],
+    ) -> Iterator[_R]:
+        """Yield ``kernel(operands, t)`` for every tile, in tile order.
+
+        The serial backend computes lazily — at most one tile result is
+        alive at a time, which is what keeps blocked assembly's peak
+        memory at ``O(tile_size * n)`` beyond the output. The process
+        backend submits every tile up front and yields results in
+        submission order regardless of completion order. With it,
+        ``kernel`` must be a module-level function and ``operands``
+        picklable.
+        """
+        if self.workers == 1 or len(tiles) <= 1:
+            for tile in tiles:
+                yield kernel(operands, tile)
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tiles))
+        ) as pool:
+            futures = [pool.submit(kernel, operands, tile) for tile in tiles]
+            for future in futures:
+                yield future.result()
+
+    def run(
+        self,
+        kernel: Callable[[Any, Tile], _R],
+        operands: Any,
+        tiles: Sequence[Tile],
+    ) -> List[_R]:
+        """:meth:`stream`, materialized as a list (small workloads/tests)."""
+        return list(self.stream(kernel, operands, tiles))

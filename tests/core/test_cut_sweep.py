@@ -1,0 +1,133 @@
+"""Incremental cut sweeps against the rebuild-from-scratch oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    AgglomerativeClusterer,
+    CutSelection,
+    IncrementalCutSweep,
+    IncrementalSilhouetteSweep,
+    evaluate_cuts,
+)
+from repro.core.silhouette import average_silhouette
+
+
+def random_linkage(rng, n):
+    dist = rng.random((n, n))
+    dist = (dist + dist.T) / 2
+    np.fill_diagonal(dist, 0.0)
+    return AgglomerativeClusterer().fit(dist), dist
+
+
+def evaluate_cuts_oracle(linkage, distances, candidates):
+    """The pre-sweep selection: rebuild labels + score per candidate."""
+    best = (0.0, -np.inf)
+    found = False
+    for threshold in [float(t) for t in candidates]:
+        labels = linkage.cut(threshold)
+        score = average_silhouette(distances, labels)
+        if score > best[1]:
+            best = (threshold, score)
+            found = True
+    assert found
+    return best
+
+
+class TestIncrementalCutSweep:
+    def test_labels_match_cut_exactly(self):
+        rng = np.random.default_rng(21)
+        for trial in range(5):
+            linkage, _ = random_linkage(rng, int(rng.integers(5, 40)))
+            heights = linkage.heights()
+            thresholds = sorted(
+                float(t)
+                for t in rng.choice(heights, size=min(6, heights.size))
+            ) + [float(heights.max()) + 0.1]
+            sweep = IncrementalCutSweep(linkage)
+            for t in thresholds:
+                np.testing.assert_array_equal(
+                    sweep.labels_at(t), linkage.cut(t)
+                )
+
+    def test_rejects_decreasing_thresholds(self):
+        rng = np.random.default_rng(1)
+        linkage, _ = random_linkage(rng, 10)
+        sweep = IncrementalCutSweep(linkage)
+        sweep.labels_at(0.5)
+        with pytest.raises(ValueError):
+            sweep.labels_at(0.4)
+
+
+class TestIncrementalSilhouetteSweep:
+    def test_scores_match_rebuilt_silhouette(self):
+        rng = np.random.default_rng(33)
+        for trial in range(5):
+            n = int(rng.integers(8, 50))
+            linkage, dist = random_linkage(rng, n)
+            heights = linkage.heights()
+            quantiles = np.linspace(0.05, 0.95, 9)
+            thresholds = sorted(set(float(np.quantile(heights, q)) for q in quantiles))
+            sweep = IncrementalSilhouetteSweep(linkage, dist)
+            for t in thresholds:
+                expected = average_silhouette(dist, linkage.cut(t))
+                got = sweep.score_at(t)
+                assert got == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_degenerate_cuts_score_minus_one(self):
+        rng = np.random.default_rng(2)
+        linkage, dist = random_linkage(rng, 12)
+        sweep = IncrementalSilhouetteSweep(linkage, dist)
+        assert sweep.score_at(-1.0) == -1.0  # every point its own cluster
+        assert sweep.score_at(2.0) == -1.0  # everything merged
+
+    def test_rejects_decreasing_thresholds(self):
+        rng = np.random.default_rng(5)
+        linkage, dist = random_linkage(rng, 10)
+        sweep = IncrementalSilhouetteSweep(linkage, dist)
+        sweep.score_at(0.6)
+        with pytest.raises(ValueError):
+            sweep.score_at(0.1)
+
+    def test_shape_mismatch_raises(self):
+        rng = np.random.default_rng(6)
+        linkage, dist = random_linkage(rng, 10)
+        with pytest.raises(ValueError):
+            IncrementalSilhouetteSweep(linkage, dist[:8, :8])
+
+
+class TestEvaluateCuts:
+    def test_matches_rebuild_per_candidate_oracle(self):
+        rng = np.random.default_rng(41)
+        for trial in range(5):
+            n = int(rng.integers(10, 60))
+            linkage, dist = random_linkage(rng, n)
+            heights = linkage.heights()
+            candidates = [
+                float(np.quantile(heights, q))
+                for q in np.linspace(0.1, 0.9, 7)
+            ]
+            selection = evaluate_cuts(linkage, dist, candidates=candidates)
+            threshold, score = evaluate_cuts_oracle(linkage, dist, candidates)
+            assert selection.threshold == threshold
+            assert selection.score == pytest.approx(score, rel=1e-9)
+            np.testing.assert_array_equal(
+                selection.labels, linkage.cut(threshold)
+            )
+            assert selection.n_candidates == len(candidates)
+
+    def test_duplicate_candidates_scored_once_keep_first_win(self):
+        rng = np.random.default_rng(7)
+        linkage, dist = random_linkage(rng, 20)
+        median = float(np.median(linkage.heights()))
+        selection = evaluate_cuts(
+            linkage, dist, candidates=[median, median, median]
+        )
+        assert isinstance(selection, CutSelection)
+        assert selection.threshold == median
+        assert selection.n_candidates == 3
+
+    def test_empty_linkage(self):
+        linkage = AgglomerativeClusterer().fit(np.zeros((1, 1)))
+        selection = evaluate_cuts(linkage, np.zeros((1, 1)))
+        assert selection.n_candidates == 0

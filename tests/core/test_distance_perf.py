@@ -1,0 +1,125 @@
+"""Blocked / parallel / condensed / float32 distance paths on a real corpus.
+
+The acceptance property of the perf subsystem: every execution
+configuration yields the same science. Worker count and tile size must
+never change a single bit of the distance matrices or the downstream cut
+selection; reduced precision/storage modes must stay within float32
+tolerance while shrinking the footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import AgglomerativeClusterer, evaluate_cuts
+from repro.core.distance import compute_distances
+from repro.core.pipeline import MinerConfig
+from repro.perf import ExecutionPlan, condensed_size, square_to_condensed
+
+
+@pytest.fixture(scope="module")
+def corpus(small_dataset):
+    # Keep it moderate so the ProcessPool cases stay fast.
+    return small_dataset.valid_records[:160]
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    return compute_distances(corpus)
+
+
+class TestBlockedAndParallelIdentity:
+    def test_tile_size_is_invisible(self, corpus, reference):
+        for tile_size in (7, 50, 1000):
+            got = compute_distances(
+                corpus, plan=ExecutionPlan(tile_size=tile_size)
+            )
+            assert got.total.tobytes() == reference.total.tobytes()
+            assert got.text.tobytes() == reference.text.tobytes()
+            assert got.url.tobytes() == reference.url.tobytes()
+
+    def test_workers_1_2_4_bit_identical_distances_and_cut(
+        self, corpus, reference
+    ):
+        selections = []
+        for workers in (1, 2, 4):
+            got = compute_distances(
+                corpus, plan=ExecutionPlan(workers=workers, tile_size=48)
+            )
+            assert got.total.tobytes() == reference.total.tobytes()
+            assert got.text.tobytes() == reference.text.tobytes()
+            assert got.url.tobytes() == reference.url.tobytes()
+            linkage = AgglomerativeClusterer().fit(got.total)
+            selections.append(evaluate_cuts(linkage, got.total_square()))
+        first = selections[0]
+        for other in selections[1:]:
+            assert other.threshold == first.threshold
+            assert other.score == first.score
+            np.testing.assert_array_equal(other.labels, first.labels)
+
+    def test_matrices_are_symmetric_without_symmetrization(self, reference):
+        for matrix in (reference.text, reference.url, reference.total):
+            assert matrix.tobytes() == np.ascontiguousarray(matrix.T).tobytes()
+
+
+class TestReducedModes:
+    def test_condensed_equals_dense_upper_triangle(self, corpus, reference):
+        got = compute_distances(corpus, storage="condensed")
+        assert got.storage == "condensed"
+        assert got.text is None and got.url is None
+        expected = square_to_condensed(reference.total)
+        assert got.total.tobytes() == expected.tobytes()
+        square = got.total_square()
+        assert square.tobytes() == reference.total.tobytes()
+
+    def test_float32_close_and_half_the_bytes(self, corpus, reference):
+        got = compute_distances(corpus, precision="float32")
+        assert got.total.dtype == np.float32
+        np.testing.assert_allclose(got.total, reference.total, atol=1e-6)
+        assert got.component_bytes * 2 == reference.component_bytes
+
+    def test_condensed_float32_footprint(self, corpus, reference):
+        got = compute_distances(
+            corpus, precision="float32", storage="condensed"
+        )
+        n = got.size
+        assert got.component_bytes == condensed_size(n) * 4
+        # >= 2x below even ONE dense float64 square, let alone all three.
+        assert got.component_bytes * 2 < n * n * 8
+        np.testing.assert_allclose(
+            got.total_square(dtype=np.float64),
+            reference.total,
+            atol=1e-6,
+        )
+
+    def test_condensed_linkage_matches_dense(self, corpus, reference):
+        got = compute_distances(corpus, storage="condensed")
+        dense_linkage = AgglomerativeClusterer().fit(reference.total)
+        condensed_linkage = AgglomerativeClusterer().fit(got.total)
+        assert np.array_equal(
+            dense_linkage.to_scipy(), condensed_linkage.to_scipy()
+        )
+
+    def test_invalid_modes_raise(self, corpus):
+        with pytest.raises(ValueError):
+            compute_distances(corpus, precision="float16")
+        with pytest.raises(ValueError):
+            compute_distances(corpus, storage="sparse")
+
+
+class TestMinerConfigKnobs:
+    def test_defaults(self):
+        cfg = MinerConfig()
+        assert cfg.workers == 1
+        assert cfg.precision == "float64"
+        assert cfg.storage == "dense"
+        assert cfg.tile_size >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinerConfig(workers=0)
+        with pytest.raises(ValueError):
+            MinerConfig(tile_size=0)
+        with pytest.raises(ValueError):
+            MinerConfig(precision="float16")
+        with pytest.raises(ValueError):
+            MinerConfig(storage="sparse")

@@ -1,0 +1,69 @@
+"""The reduceat silhouette against the indicator-matmul oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.silhouette import (
+    average_silhouette,
+    silhouette_samples,
+    silhouette_samples_reference,
+)
+
+
+def random_case(rng, n, k):
+    dist = rng.random((n, n))
+    dist = (dist + dist.T) / 2
+    np.fill_diagonal(dist, 0.0)
+    labels = rng.integers(0, k, size=n)
+    # Guarantee at least two distinct labels.
+    labels[0], labels[1] = 0, 1
+    return dist, labels
+
+
+class TestFastMatchesReference:
+    def test_random_labelings(self):
+        rng = np.random.default_rng(17)
+        for n, k in ((5, 2), (12, 3), (40, 7), (60, 25), (80, 79)):
+            dist, labels = random_case(rng, n, k)
+            fast = silhouette_samples(dist, labels)
+            oracle = silhouette_samples_reference(dist, labels)
+            np.testing.assert_allclose(fast, oracle, rtol=1e-10, atol=1e-12)
+
+    def test_noncontiguous_label_values(self):
+        rng = np.random.default_rng(3)
+        dist, _ = random_case(rng, 20, 2)
+        labels = np.array([100, -5, 7, 100, -5, 7, 100, -5, 7, 100] * 2)
+        fast = silhouette_samples(dist, labels)
+        oracle = silhouette_samples_reference(dist, labels)
+        np.testing.assert_allclose(fast, oracle, rtol=1e-10, atol=1e-12)
+
+    def test_singletons_score_zero(self):
+        rng = np.random.default_rng(4)
+        dist, _ = random_case(rng, 6, 2)
+        labels = np.array([0, 0, 1, 1, 2, 3])  # two singletons
+        fast = silhouette_samples(dist, labels)
+        assert fast[4] == 0.0 and fast[5] == 0.0
+
+    def test_float32_distances_accumulate_in_float64(self):
+        rng = np.random.default_rng(8)
+        dist, labels = random_case(rng, 30, 4)
+        fast32 = silhouette_samples(dist.astype(np.float32), labels)
+        fast64 = silhouette_samples(dist, labels)
+        np.testing.assert_allclose(fast32, fast64, atol=1e-6)
+
+    def test_rejects_degenerate_inputs(self):
+        dist = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            silhouette_samples(dist, np.zeros(3, dtype=int))  # single cluster
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((3, 2)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            silhouette_samples(dist, np.zeros(4, dtype=int))
+
+    def test_average_conventions(self):
+        rng = np.random.default_rng(9)
+        dist, labels = random_case(rng, 10, 3)
+        assert average_silhouette(dist, np.zeros(10, dtype=int)) == -1.0
+        assert average_silhouette(dist, np.arange(10)) == -1.0
+        score = average_silhouette(dist, labels)
+        assert -1.0 <= score <= 1.0

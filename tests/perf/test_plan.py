@@ -1,0 +1,116 @@
+"""Tile scheduling and execution-plan determinism."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.perf import (
+    DEFAULT_TILE_SIZE,
+    ExecutionPlan,
+    PairwiseOperands,
+    Tile,
+    combined_distance_tile,
+    row_tiles,
+)
+
+
+def tiny_operands(n=23, seed=3):
+    """Small synthetic corpus operands, picklable for the process backend."""
+    rng = np.random.default_rng(seed)
+    bow = sparse.random(n, 40, density=0.2, random_state=np.random.RandomState(seed), format="csr")
+    norms = np.sqrt(np.asarray(bow.multiply(bow).sum(axis=1)).ravel())
+    norms[norms == 0] = 1.0
+    bow_normed = sparse.csr_matrix(sparse.diags(1.0 / norms) @ bow)
+    emb = rng.normal(size=(n, 8))
+    emb /= np.linalg.norm(emb, axis=1, keepdims=True)
+    zero_rows = np.zeros(n, dtype=bool)
+    zero_rows[::7] = True
+    emb[zero_rows] = 0.0
+    member = sparse.random(
+        n, 30, density=0.15, random_state=np.random.RandomState(seed + 1), format="csr"
+    )
+    member.data[:] = 1.0
+    sizes = np.asarray(member.sum(axis=1)).ravel()
+    empty = sizes == 0
+    return PairwiseOperands(
+        bow_normed=bow_normed,
+        doc_emb=emb,
+        zero_rows=zero_rows,
+        blend=0.4,
+        url_member=member,
+        url_sizes=sizes,
+        url_empty=empty,
+    )
+
+
+def assemble(plan, operands):
+    n = operands.n
+    text = np.empty((n, n))
+    url = np.empty((n, n))
+    for tile, (text_rows, url_rows) in zip(
+        plan.tiles(n), plan.run(combined_distance_tile, operands, plan.tiles(n))
+    ):
+        text[tile.start : tile.stop] = text_rows
+        url[tile.start : tile.stop] = url_rows
+    return text, url
+
+
+class TestTiles:
+    def test_row_tiles_partition_the_range(self):
+        for n in (0, 1, 5, 23, 100):
+            for tile_size in (1, 3, 7, 100):
+                tiles = row_tiles(n, tile_size)
+                covered = [i for t in tiles for i in range(t.start, t.stop)]
+                assert covered == list(range(n))
+                assert all(t.size <= tile_size for t in tiles)
+
+    def test_invalid_tile_raises(self):
+        with pytest.raises(ValueError):
+            Tile(-1, 4)
+        with pytest.raises(ValueError):
+            Tile(5, 4)
+
+    def test_invalid_chunking_raises(self):
+        with pytest.raises(ValueError):
+            row_tiles(10, 0)
+        with pytest.raises(ValueError):
+            row_tiles(-1, 4)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(tile_size=0)
+        assert ExecutionPlan().tile_size == DEFAULT_TILE_SIZE
+
+
+class TestExecutionDeterminism:
+    def test_tile_size_never_changes_the_bits(self):
+        operands = tiny_operands()
+        ref_text, ref_url = assemble(ExecutionPlan(tile_size=1024), operands)
+        for tile_size in (1, 4, 7, 23):
+            text, url = assemble(ExecutionPlan(tile_size=tile_size), operands)
+            assert text.tobytes() == ref_text.tobytes()
+            assert url.tobytes() == ref_url.tobytes()
+
+    def test_process_backend_matches_serial_bitwise(self):
+        operands = tiny_operands()
+        ref = assemble(ExecutionPlan(workers=1, tile_size=6), operands)
+        for workers in (2, 4):
+            got = assemble(ExecutionPlan(workers=workers, tile_size=6), operands)
+            assert got[0].tobytes() == ref[0].tobytes()
+            assert got[1].tobytes() == ref[1].tobytes()
+
+    def test_serial_stream_is_lazy(self):
+        seen = []
+
+        def kernel(payload, tile):
+            seen.append(tile.start)
+            return tile.start
+
+        plan = ExecutionPlan(tile_size=5)
+        stream = plan.stream(kernel, None, plan.tiles(15))
+        assert seen == []  # nothing computed until consumed
+        assert next(stream) == 0
+        assert seen == [0]
+        assert list(stream) == [5, 10]

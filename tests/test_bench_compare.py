@@ -1,0 +1,72 @@
+"""Unit tests for the bench regression gate (no pipeline runs)."""
+
+from repro.bench import annotate_speedups, compare_reports
+
+
+def report(stages, summary=None):
+    return {
+        "pipeline": {
+            "stages": [
+                {"stage": name, "wall_s": wall} for name, wall in stages
+            ]
+        },
+        "summary": summary if summary is not None else {"ad_campaigns": 5},
+    }
+
+
+class TestCompareReports:
+    def test_clean_run_passes(self):
+        baseline = report([("pipeline.cut", 1.0), ("pipeline.distances", 0.5)])
+        fresh = report([("pipeline.cut", 1.1), ("pipeline.distances", 0.4)])
+        failures, lines = compare_reports(fresh, baseline, tolerance=0.25)
+        assert failures == []
+        assert len(lines) == 2
+
+    def test_regression_fails(self):
+        baseline = report([("pipeline.cut", 1.0)])
+        fresh = report([("pipeline.cut", 1.3)])
+        failures, _ = compare_reports(fresh, baseline, tolerance=0.25)
+        assert len(failures) == 1
+        assert "pipeline.cut" in failures[0]
+
+    def test_noise_floor_skips_tiny_stages(self):
+        baseline = report([("pipeline.features", 0.01)])
+        fresh = report([("pipeline.features", 0.04)])  # 4x, but tiny
+        failures, lines = compare_reports(
+            fresh, baseline, tolerance=0.25, min_wall=0.05
+        )
+        assert failures == []
+        assert "not gated" in lines[0]
+
+    def test_missing_stage_fails(self):
+        baseline = report([("pipeline.cut", 1.0), ("pipeline.gone", 1.0)])
+        fresh = report([("pipeline.cut", 1.0)])
+        failures, _ = compare_reports(fresh, baseline)
+        assert any("pipeline.gone" in f for f in failures)
+
+    def test_summary_drift_fails(self):
+        baseline = report([("pipeline.cut", 1.0)], summary={"ad_campaigns": 5})
+        fresh = report([("pipeline.cut", 1.0)], summary={"ad_campaigns": 6})
+        failures, _ = compare_reports(fresh, baseline)
+        assert any("determinism" in f for f in failures)
+        assert any("ad_campaigns" in f for f in failures)
+
+    def test_new_stage_is_reported_not_failed(self):
+        baseline = report([("pipeline.cut", 1.0)])
+        fresh = report([("pipeline.cut", 1.0), ("pipeline.new", 9.0)])
+        failures, lines = compare_reports(fresh, baseline)
+        assert failures == []
+        assert any("no baseline" in line for line in lines)
+
+
+class TestAnnotateSpeedups:
+    def test_adds_ratios(self):
+        baseline = report([("pipeline.cut", 1.0)])
+        fresh = report([("pipeline.cut", 0.2)])
+        annotate_speedups(fresh, baseline)
+        assert fresh["pipeline"]["stages"][0]["speedup_vs_baseline"] == 5.0
+
+    def test_none_baseline_is_noop(self):
+        fresh = report([("pipeline.cut", 0.2)])
+        annotate_speedups(fresh, None)
+        assert "speedup_vs_baseline" not in fresh["pipeline"]["stages"][0]
