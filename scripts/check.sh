@@ -16,6 +16,36 @@ step() {
 step "pushlint (python -m repro.analysis src/repro)"
 python -m repro.analysis src/repro || failures=$((failures + 1))
 
+# The whole-program passes run twice: a first (possibly cold) run that
+# warms the content-hash summary cache, then a timed cached run that must
+# fit the wall-time budget — the property that lets --flow sit in this
+# gate. Override with PUSHLINT_FLOW_BUDGET (seconds).
+step "pushlint --flow (cached run under ${PUSHLINT_FLOW_BUDGET:-10}s budget)"
+flow_cache="$(mktemp /tmp/pushlint_flow.XXXXXX.json)"
+python -m repro.analysis --flow --flow-cache "$flow_cache" src/repro \
+    || failures=$((failures + 1))
+python - "$flow_cache" "${PUSHLINT_FLOW_BUDGET:-10}" <<'PYEOF' || failures=$((failures + 1))
+import subprocess, sys, time
+
+cache, budget = sys.argv[1], float(sys.argv[2])
+start = time.perf_counter()
+proc = subprocess.run(
+    [sys.executable, "-m", "repro.analysis", "--flow",
+     "--flow-cache", cache, "src/repro"],
+    capture_output=True, text=True,
+)
+elapsed = time.perf_counter() - start
+sys.stdout.write(proc.stdout)
+sys.stderr.write(proc.stderr)
+print(f"cached --flow run: {elapsed:.2f}s (budget {budget:.0f}s)")
+if proc.returncode != 0:
+    sys.exit(proc.returncode)
+if elapsed > budget:
+    print(f"check.sh: cached --flow run blew the {budget:.0f}s budget")
+    sys.exit(1)
+PYEOF
+rm -f "$flow_cache"
+
 step "mypy (strict: repro.util, repro.analysis)"
 if python -c "import mypy" >/dev/null 2>&1; then
     python -m mypy src/repro/util src/repro/analysis || failures=$((failures + 1))

@@ -13,6 +13,15 @@ or programmatically::
     result = AnalysisEngine().run([Path("src/repro")])
     assert result.ok, result.findings
 
+The per-file rules are complemented by two *whole-program* passes
+(``repro.analysis.flow``): cross-module nondeterminism taint and
+parallel-purity of callables shipped across the process boundary. Run
+them with ``python -m repro.analysis --flow`` or::
+
+    from repro.analysis import run_flow
+    flow = run_flow([Path("src/repro")])
+    assert flow.ok, flow.findings
+
 ``repro.analysis`` sits at the bottom of the package DAG next to
 ``repro.util``: it imports nothing from the rest of the repo, so it can
 judge every layer without being entangled with any.
@@ -21,20 +30,37 @@ judge every layer without being entangled with any.
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import AnalysisEngine, AnalysisResult, iter_python_files
 from repro.analysis.finding import Finding, Severity
-from repro.analysis.rules import ALL_RULES, Rule, default_rules, select_rules
+from repro.analysis.flow import (
+    ProjectIndex,
+    SummaryCache,
+    run_flow,
+)
+from repro.analysis.flow.run import FlowResult
+from repro.analysis.rules import (
+    ALL_RULES,
+    FLOW_RULE_IDS,
+    Rule,
+    default_rules,
+    select_rules,
+)
 from repro.analysis.source import ModuleSource, SourceError
 
 __all__ = [
     "ALL_RULES",
+    "FLOW_RULE_IDS",
     "AnalysisEngine",
     "AnalysisResult",
     "Baseline",
     "Finding",
+    "FlowResult",
     "ModuleSource",
+    "ProjectIndex",
     "Rule",
     "Severity",
     "SourceError",
+    "SummaryCache",
     "default_rules",
     "iter_python_files",
+    "run_flow",
     "select_rules",
 ]

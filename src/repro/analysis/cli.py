@@ -13,11 +13,14 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.engine import AnalysisEngine
-from repro.analysis.finding import Severity
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.flow import SummaryCache, run_flow
+from repro.analysis.flow.run import FlowResult
 from repro.analysis.reporters import format_human, format_json
-from repro.analysis.rules import rules_by_id, select_rules
+from repro.analysis.rules import FlowRule, rules_by_id, select_rules
 
 DEFAULT_BASELINE = "pushlint-baseline.json"
+DEFAULT_FLOW_CACHE = ".pushlint-cache.json"
 
 
 def _split_ids(values: "List[str] | None") -> List[str]:
@@ -85,6 +88,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the whole-program passes: cross-module "
+            "nondeterminism taint (flow-nondet-taint) and parallel purity "
+            "(flow-parallel-purity)"
+        ),
+    )
+    parser.add_argument(
+        "--flow-cache",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "content-hash summary cache for --flow "
+            f"(default: {DEFAULT_FLOW_CACHE})"
+        ),
+    )
+    parser.add_argument(
+        "--no-flow-cache",
+        action="store_true",
+        help="run --flow without reading or writing the summary cache",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="FINDING",
+        help=(
+            "print the source-to-sink call chain(s) of a flow finding, "
+            "given its fingerprint (prefix) or path:line; implies --flow "
+            "and also matches suppressed findings"
+        ),
+    )
     return parser
 
 
@@ -136,6 +172,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     engine = AnalysisEngine(rules=rules, baseline=baseline)
     result = engine.run(paths)
 
+    if args.flow or args.explain:
+        flow_ids = [rule.id for rule in rules if isinstance(rule, FlowRule)]
+        cache: Optional[SummaryCache] = None
+        if not args.no_flow_cache:
+            cache = SummaryCache(args.flow_cache or Path(DEFAULT_FLOW_CACHE))
+        flow_result = run_flow(paths, rule_ids=flow_ids, cache=cache)
+        if cache is not None:
+            try:
+                cache.save()
+            except OSError:
+                pass  # read-only checkouts still get the analysis
+        if args.explain:
+            return _explain(args.explain, flow_result)
+        active, flow_baselined = baseline.split(flow_result.findings)
+        result.findings = sorted([*result.findings, *active])
+        result.suppressed += flow_result.suppressed
+        result.baselined += flow_baselined
+        result.flow_stats = flow_result.stats
+
     if args.write_baseline:
         Baseline.from_findings(result.findings).save(baseline_path)
         print(
@@ -149,4 +204,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     worst = result.max_severity()
     if worst is not None and worst >= fail_on:
         return 1
+    return 0
+
+
+def _matches(finding: Finding, query: str) -> bool:
+    if finding.fingerprint.startswith(query):
+        return True
+    return f"{finding.path}:{finding.line}" == query
+
+
+def _explain(query: str, flow_result: FlowResult) -> int:
+    """Print the call chain(s) behind a flow finding (``--explain``)."""
+    matched = [
+        ff for ff in flow_result.all_findings if _matches(ff.finding, query)
+    ]
+    if not matched:
+        print(
+            f"pushlint: --explain: no flow finding matches {query!r} "
+            f"(expected a fingerprint or path:line; "
+            f"{len(flow_result.all_findings)} flow finding(s) exist)",
+            file=sys.stderr,
+        )
+        return 2
+    blocks: List[str] = []
+    for ff in matched:
+        f = ff.finding
+        status = " (suppressed inline)" if ff.suppressed else ""
+        lines = [
+            f"{f.location}: {f.severity.label} [{f.rule_id}]{status}",
+            f"  {f.message}",
+            f"  fingerprint: {f.fingerprint}",
+        ]
+        if f.chain:
+            lines.append("  chain:")
+            lines.extend(f"    {i}. {hop}" for i, hop in enumerate(f.chain))
+        blocks.append("\n".join(lines))
+    print("\n\n".join(blocks))
     return 0

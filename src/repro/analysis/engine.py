@@ -24,6 +24,9 @@ class AnalysisResult:
     baselined: int = 0
     files_checked: int = 0
     rule_ids: Tuple[str, ...] = ()
+    # Whole-program pass statistics, set when the CLI ran with --flow
+    # (see repro.analysis.flow): modules indexed / parsed / cache hits.
+    flow_stats: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -40,24 +43,23 @@ class AnalysisResult:
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
-    """Every ``.py`` file under the given files/directories, sorted."""
-    seen: Set[Path] = set()
-    collected: List[Path] = []
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    Symlinked or repeated inputs that resolve to the same file are yielded
+    once, under whichever of their spellings sorts first.
+    """
+    candidates: Set[Path] = set()
     for path in paths:
         if path.is_dir():
-            candidates = sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            candidates = [path]
-        else:
-            candidates = []
-        for candidate in candidates:
-            if _skipped(candidate):
-                continue
-            resolved = candidate.resolve()
-            if resolved not in seen:
-                seen.add(resolved)
-                collected.append(candidate)
-    return iter(sorted(collected))
+            candidates.update(p for p in path.rglob("*.py") if not _skipped(p))
+        elif path.suffix == ".py" and not _skipped(path):
+            candidates.add(path)
+    seen: Set[Path] = set()
+    for candidate in sorted(candidates):
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            yield candidate
 
 
 def _skipped(path: Path) -> bool:
@@ -124,8 +126,40 @@ class AnalysisEngine:
         return result
 
 
+# Files whose presence marks a directory as the project root.
+_ROOT_MARKERS = ("pyproject.toml", "setup.py", ".git")
+_root_cache: Dict[Path, Optional[Path]] = {}
+
+
+def _project_root(start: Path) -> Optional[Path]:
+    """Nearest ancestor of ``start`` holding a project-root marker file."""
+    if start in _root_cache:
+        return _root_cache[start]
+    root: Optional[Path] = None
+    for candidate in (start, *start.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            root = candidate
+            break
+    _root_cache[start] = root
+    return root
+
+
 def _display_path(path: Path) -> str:
+    """Repo-root-relative display path, stable across invocation CWDs.
+
+    Finding paths feed baseline fingerprints and suppression review, so
+    they must not depend on where pushlint was launched from. Resolve
+    against the containing project root (pyproject/setup/.git marker);
+    only paths outside any project fall back to CWD-relative/absolute.
+    """
+    resolved = path.resolve()
+    root = _project_root(resolved.parent)
+    if root is not None:
+        try:
+            return resolved.relative_to(root).as_posix()
+        except ValueError:  # pragma: no cover - root is an ancestor
+            pass
     try:
-        return path.resolve().relative_to(Path.cwd()).as_posix()
+        return resolved.relative_to(Path.cwd()).as_posix()
     except ValueError:
         return path.as_posix()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 
 class Severity(enum.IntEnum):
@@ -39,6 +39,10 @@ class Finding:
     ``source_line`` carries the stripped text of the offending line; the
     baseline fingerprint hashes it instead of the line *number* so that
     unrelated edits above a baselined finding do not un-baseline it.
+
+    ``chain`` is set by the whole-program flow passes: the source-to-sink
+    call chain, one ``"qualname (path:line)"`` hop per element, ending at
+    the nondeterminism source (or state write) the finding is about.
     """
 
     path: str
@@ -48,6 +52,7 @@ class Finding:
     severity: Severity = field(compare=False)
     message: str = field(compare=False)
     source_line: str = field(default="", compare=False)
+    chain: Tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def fingerprint(self) -> str:
@@ -60,7 +65,7 @@ class Finding:
         return f"{self.path}:{self.line}:{self.column}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -69,3 +74,6 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        return payload

@@ -1,0 +1,42 @@
+"""Whole-program flow analysis for pushlint.
+
+The per-module rules in :mod:`repro.analysis.rules` see one file at a
+time, so a wall-clock read wrapped in a helper one module away is
+invisible to them at the point where it matters — the reporter that emits
+it, or the kernel that ships it into a worker process. This package adds
+the interprocedural layer:
+
+* :class:`~repro.analysis.flow.index.ProjectIndex` — parses the project
+  once (content-hash cached), resolves imports (including re-export
+  ``__getattr__`` shims) into a symbol table, and builds a conservative
+  call graph;
+* :class:`~repro.analysis.flow.taint.NondetTaintPass`
+  (rule ``flow-nondet-taint``) — propagates nondeterminism sources along
+  the call graph and reports them at emit/report/serialization sinks and
+  ``PushAdMiner.stage_*`` roots, with the full source-to-sink chain;
+* :class:`~repro.analysis.flow.purity.ParallelPurityPass`
+  (rule ``flow-parallel-purity``) — verifies every callable shipped
+  across the process boundary (``ExecutionPlan.stream``/``run``,
+  ``pool.submit``) is a pure module-level function.
+
+Run both via ``python -m repro.analysis --flow`` or :func:`run_flow`.
+"""
+
+from repro.analysis.flow.cache import SummaryCache
+from repro.analysis.flow.index import CallGraph, ProjectIndex
+from repro.analysis.flow.purity import ParallelPurityPass
+from repro.analysis.flow.run import FlowResult, run_flow
+from repro.analysis.flow.summary import FunctionSummary, ModuleSummary
+from repro.analysis.flow.taint import NondetTaintPass
+
+__all__ = [
+    "CallGraph",
+    "FlowResult",
+    "FunctionSummary",
+    "ModuleSummary",
+    "NondetTaintPass",
+    "ParallelPurityPass",
+    "ProjectIndex",
+    "SummaryCache",
+    "run_flow",
+]

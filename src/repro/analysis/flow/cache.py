@@ -1,0 +1,93 @@
+"""Content-hash incremental cache for module summaries.
+
+The whole-program pass must stay fast enough to sit in the pre-merge gate
+(`scripts/check.sh` asserts a wall-time budget on the cached run), so the
+expensive phase — parsing + extraction — is memoized per file, keyed by a
+BLAKE2b hash of the file *bytes*. Nothing time- or mtime-based is stored:
+the cache is a pure function of file contents, so it is deterministic and
+safe to share between working trees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis.flow.summary import ModuleSummary
+
+_CACHE_VERSION = "pushlint-flow-cache/1"
+
+
+def content_hash(data: bytes) -> str:
+    """Stable digest of one file's bytes."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+class SummaryCache:
+    """Maps ``display path -> (content hash, ModuleSummary)`` on disk.
+
+    A missing, empty, or version-mismatched cache file loads as an empty
+    cache; :meth:`save` rewrites the whole file with sorted keys so cache
+    files diff cleanly.
+    """
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = path
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != _CACHE_VERSION:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, display_path: str, digest: str) -> Optional[ModuleSummary]:
+        """The cached summary for this exact file content, if any."""
+        entry = self._entries.get(display_path)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        summary_payload = entry.get("summary")
+        summary = (
+            ModuleSummary.from_dict(summary_payload)
+            if isinstance(summary_payload, dict)
+            else None
+        )
+        if summary is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, display_path: str, digest: str, summary: ModuleSummary) -> None:
+        self._entries[display_path] = {
+            "hash": digest,
+            "summary": summary.to_dict(),
+        }
+
+    def save(self, path: Optional[Path] = None) -> None:
+        """Persist to ``path`` (or the load path); no-op when neither set."""
+        target = path if path is not None else self.path
+        if target is None:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "entries": dict(sorted(self._entries.items())),
+        }
+        target.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

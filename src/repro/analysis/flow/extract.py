@@ -1,0 +1,669 @@
+"""Extract one module's :class:`ModuleSummary` from its AST.
+
+This is the only flow-analysis phase that looks at syntax; everything
+downstream (symbol resolution, call graph, taint propagation, purity)
+consumes the summaries. Extraction is deliberately conservative:
+
+* call targets are recorded as dotted references resolved as far as the
+  module's own imports, top-level definitions, ``self``/``cls``, and a
+  light local type inference (parameter annotations and ``v = Class(...)``
+  assignments) allow — unresolvable targets simply produce no edge;
+* nested functions and lambdas are folded into their enclosing top-level
+  function or method (their calls/sources are attributed to it), which
+  over-approximates reachability but never misses it;
+* module-level statements outside any function are *not* analyzed here —
+  the per-file rules already flag sources at import time wherever they
+  appear.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.summary import (
+    CallSite,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+    ShipSite,
+    StateWrite,
+    TaintSource,
+)
+from repro.analysis.rules.base import module_in
+from repro.analysis.rules.rng import NoUnseededRngRule
+from repro.analysis.rules.wallclock import WALLCLOCK_CALLS, NoWallclockRule
+from repro.analysis.source import ModuleSource
+
+# Filesystem enumeration whose result order is OS-dependent.
+_FS_ORDER_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+# Container methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+# Methods that ship their first positional argument into worker processes.
+_SHIP_METHODS = frozenset({"stream", "run", "submit"})
+
+_RNG_RULE = NoUnseededRngRule()
+
+
+def extract_module(src: ModuleSource) -> ModuleSummary:
+    """Build the whole-program summary of one parsed module."""
+    extractor = _ModuleExtractor(src)
+    return extractor.run()
+
+
+class _ModuleExtractor:
+    def __init__(self, src: ModuleSource):
+        self.src = src
+        self.module = src.module
+        self.imports: Dict[str, str] = {}
+        self.module_names: Set[str] = set()
+        self.module_defs: Set[str] = set()  # top-level function/class names
+
+    # ------------------------------------------------------------------
+    # Module level
+    # ------------------------------------------------------------------
+    def run(self) -> ModuleSummary:
+        tree = self.src.tree
+        self._collect_imports(tree)
+        self._collect_module_names(tree)
+
+        summary = ModuleSummary(
+            module=self.module,
+            path=self.src.path,
+            imports=dict(self.imports),
+            module_names=sorted(self.module_names),
+            suppressions=self.src.suppressions,
+        )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._extract_function(node, class_name=None)
+                summary.functions[fn.qualname] = fn
+                if node.name == "__getattr__":
+                    summary.getattr_forward = self._getattr_forward(node)
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassSummary(name=node.name, line=node.lineno)
+                for base in node.bases:
+                    ref = self._ref_of_expr(base, local=_EMPTY_LOCAL)
+                    if ref is not None:
+                        cls.bases.append(ref)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        cls.methods.append(item.name)
+                        fn = self._extract_function(item, class_name=node.name)
+                        summary.functions[fn.qualname] = fn
+                summary.classes[node.name] = cls
+        return summary
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        """Local name -> absolute dotted origin, relative imports included."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+
+    def _import_base(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        parts = self.module.split(".")
+        if not self.src.is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            if drop >= len(parts):
+                return None
+            parts = parts[:-drop]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts) if parts else None
+
+    def _collect_module_names(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.module_names.add(node.name)
+                self.module_defs.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name.split(".", 1)[0]
+                    self.module_names.add(name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for name in _bound_names(target):
+                        self.module_names.add(name)
+
+    def _getattr_forward(self, node: ast.FunctionDef) -> Optional[str]:
+        """Target module of a ``__getattr__`` re-export shim, if any.
+
+        Detects the canonical shim shape: a ``getattr(X, name)`` call where
+        ``X`` is an imported module — e.g. ``return getattr(_urls, name)``
+        in ``repro.webenv.urls``.
+        """
+        for inner in ast.walk(node):
+            if not (isinstance(inner, ast.Call) and isinstance(inner.func, ast.Name)):
+                continue
+            if inner.func.id != "getattr" or len(inner.args) < 2:
+                continue
+            target = inner.args[0]
+            if isinstance(target, ast.Name):
+                origin = self.imports.get(target.id)
+                if origin is not None:
+                    return origin
+        return None
+
+    # ------------------------------------------------------------------
+    # Function level
+    # ------------------------------------------------------------------
+    def _extract_function(
+        self, node: ast.FunctionDef, class_name: Optional[str]
+    ) -> FunctionSummary:
+        qualname = f"{class_name}.{node.name}" if class_name else node.name
+        fn = FunctionSummary(
+            qualname=qualname,
+            line=node.lineno,
+            line_text=self.src.line_text(node.lineno),
+        )
+        local = _LocalScope.of(node, class_name)
+        self._infer_types(node, local)
+
+        exempt_wallclock = module_in(
+            self.module, NoWallclockRule.exempt_prefixes
+        )
+        exempt_rng = module_in(self.module, _RNG_RULE.exempt_prefixes)
+
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call):
+                self._record_call(fn, inner, local)
+                self._record_source(
+                    fn, inner, local, exempt_wallclock, exempt_rng
+                )
+                self._record_ship(fn, inner, local)
+                self._record_mutation(fn, inner, local)
+            elif isinstance(inner, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._record_write(fn, inner, local)
+        return fn
+
+    # -- calls ----------------------------------------------------------
+    def _record_call(
+        self, fn: FunctionSummary, call: ast.Call, local: "_LocalScope"
+    ) -> None:
+        ref = self._ref_of_expr(call.func, local)
+        if ref is None:
+            return
+        if ref == "functools.partial" or ref == "partial":
+            inner = self._partial_target(call, local)
+            if inner is not None:
+                fn.calls.append(CallSite(ref=inner, line=call.lineno))
+            return
+        fn.calls.append(CallSite(ref=ref, line=call.lineno))
+
+    def _partial_target(
+        self, call: ast.Call, local: "_LocalScope"
+    ) -> Optional[str]:
+        if not call.args:
+            return None
+        return self._ref_of_expr(call.args[0], local)
+
+    # -- taint sources --------------------------------------------------
+    def _record_source(
+        self,
+        fn: FunctionSummary,
+        call: ast.Call,
+        local: "_LocalScope",
+        exempt_wallclock: bool,
+        exempt_rng: bool,
+    ) -> None:
+        ref = self._ref_of_expr(call.func, local)
+        if ref is not None:
+            if not exempt_wallclock and ref in WALLCLOCK_CALLS:
+                fn.sources.append(
+                    TaintSource(kind="wall-clock", what=ref, line=call.lineno)
+                )
+                return
+            if not exempt_rng and _RNG_RULE._violation(ref, call) is not None:
+                fn.sources.append(
+                    TaintSource(kind="global-rng", what=ref, line=call.lineno)
+                )
+                return
+            if ref in _FS_ORDER_CALLS and not self._order_safe(call):
+                fn.sources.append(
+                    TaintSource(kind="fs-order", what=ref, line=call.lineno)
+                )
+                return
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _FS_ORDER_METHODS
+            and not self._order_safe(call)
+        ):
+            fn.sources.append(
+                TaintSource(
+                    kind="fs-order", what=f".{func.attr}", line=call.lineno
+                )
+            )
+            return
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("id", "hash")
+            and not local.binds(func.id)
+            and func.id not in self.imports
+            and func.id not in self.module_defs
+        ):
+            fn.sources.append(
+                TaintSource(
+                    kind="object-identity", what=func.id, line=call.lineno
+                )
+            )
+
+    def _order_safe(self, call: ast.Call) -> bool:
+        """True when the enumeration's result is immediately sorted."""
+        node: ast.AST = call
+        for _ in range(3):
+            parent = self.src.parent(node)
+            if not isinstance(parent, ast.Call):
+                return False
+            func = parent.func
+            if isinstance(func, ast.Name):
+                if func.id == "sorted":
+                    return True
+                if func.id in ("list", "tuple"):
+                    node = parent
+                    continue
+            return False
+        return False
+
+    # -- module-state writes --------------------------------------------
+    def _record_write(
+        self,
+        fn: FunctionSummary,
+        node: "ast.Assign | ast.AnnAssign | ast.AugAssign",
+        local: "_LocalScope",
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in local.global_decls:
+                    fn.writes.append(
+                        StateWrite(
+                            name=target.id,
+                            how="global-assign",
+                            line=node.lineno,
+                        )
+                    )
+            elif isinstance(target, ast.Subscript):
+                name = self._module_state_root(target.value, local)
+                if name is not None:
+                    fn.writes.append(
+                        StateWrite(name=name, how="subscript", line=node.lineno)
+                    )
+            elif isinstance(target, ast.Attribute):
+                name = self._module_state_root(target.value, local)
+                if name is not None:
+                    fn.writes.append(
+                        StateWrite(name=name, how="attribute", line=node.lineno)
+                    )
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if (
+                        isinstance(element, ast.Name)
+                        and element.id in local.global_decls
+                    ):
+                        fn.writes.append(
+                            StateWrite(
+                                name=element.id,
+                                how="global-assign",
+                                line=node.lineno,
+                            )
+                        )
+
+    def _record_mutation(
+        self, fn: FunctionSummary, call: ast.Call, local: "_LocalScope"
+    ) -> None:
+        """``STATE.append(...)`` etc. — in-place mutation of module state."""
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _MUTATOR_METHODS:
+            return
+        name = self._module_state_root(func.value, local)
+        if name is not None:
+            fn.writes.append(
+                StateWrite(name=name, how="mutation", line=call.lineno)
+            )
+
+    def _module_state_root(
+        self, expr: ast.expr, local: "_LocalScope"
+    ) -> Optional[str]:
+        """Module-level name at the root of a mutated expression, if any."""
+        if not isinstance(expr, ast.Name):
+            return None
+        name = expr.id
+        if local.binds(name) and name not in local.global_decls:
+            return None
+        if name in self.module_names:
+            return name
+        return None
+
+    # -- ship sites -----------------------------------------------------
+    def _record_ship(
+        self, fn: FunctionSummary, call: ast.Call, local: "_LocalScope"
+    ) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _SHIP_METHODS:
+            return
+        receiver_ref = self._receiver_class(func.value, local)
+        if func.attr in ("stream", "run") and receiver_ref is None:
+            # stream/run are common method names; only a receiver whose
+            # class resolves (to ExecutionPlan, checked by the linker)
+            # counts as a process-boundary ship.
+            return
+        if not call.args:
+            return
+        arg = call.args[0]
+        arg_kind, arg_ref = self._shipped_arg(arg, local)
+        fn.ships.append(
+            ShipSite(
+                method=func.attr,
+                receiver_ref=receiver_ref,
+                arg_kind=arg_kind,
+                arg_ref=arg_ref,
+                line=call.lineno,
+                line_text=self.src.line_text(call.lineno),
+            )
+        )
+
+    def _receiver_class(
+        self, expr: ast.expr, local: "_LocalScope"
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            inferred = local.var_types.get(expr.id)
+            if inferred is not None:
+                return inferred
+            return None
+        if isinstance(expr, ast.Call):
+            # ExecutionPlan(...).stream(...) — receiver is the constructed
+            # class itself.
+            return self._ref_of_expr(expr.func, local)
+        return None
+
+    def _shipped_arg(
+        self, arg: ast.expr, local: "_LocalScope"
+    ) -> Tuple[str, Optional[str]]:
+        if isinstance(arg, ast.Lambda):
+            return "lambda", None
+        if isinstance(arg, ast.Name) and arg.id in local.nested_defs:
+            return "nested", arg.id
+        if isinstance(arg, ast.Call):
+            ref = self._ref_of_expr(arg.func, local)
+            if ref in ("functools.partial", "partial"):
+                inner = self._partial_target(arg, local)
+                if inner is not None:
+                    return "ref", inner
+            return "unknown", None
+        ref = self._ref_of_expr(arg, local)
+        if ref is not None:
+            return "ref", ref
+        return "unknown", None
+
+    # -- local type inference ------------------------------------------
+    def _infer_types(self, node: ast.FunctionDef, local: "_LocalScope") -> None:
+        args = node.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            args.vararg,
+            args.kwarg,
+        ):
+            if arg is None or arg.annotation is None:
+                continue
+            ref = self._annotation_class(arg.annotation)
+            if ref is not None:
+                local.var_types[arg.arg] = ref
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Assign) and len(inner.targets) == 1:
+                target = inner.targets[0]
+                if isinstance(target, ast.Name):
+                    self._infer_assignment(target.id, inner.value, local)
+            elif isinstance(inner, ast.AnnAssign) and isinstance(
+                inner.target, ast.Name
+            ):
+                ref = self._annotation_class(inner.annotation)
+                if ref is not None:
+                    local.var_types[inner.target.id] = ref
+            elif isinstance(inner, ast.With):
+                for item in inner.items:
+                    if (
+                        isinstance(item.optional_vars, ast.Name)
+                        and isinstance(item.context_expr, ast.Call)
+                    ):
+                        ref = self._ref_of_expr(
+                            item.context_expr.func, local, infer=False
+                        )
+                        if ref is not None:
+                            local.var_types[item.optional_vars.id] = ref
+
+    def _infer_assignment(
+        self, name: str, value: ast.expr, local: "_LocalScope"
+    ) -> None:
+        # v = Class(...) — possibly behind a conditional expression.
+        calls = (
+            [value]
+            if isinstance(value, ast.Call)
+            else [
+                branch
+                for branch in (
+                    (value.body, value.orelse)
+                    if isinstance(value, ast.IfExp)
+                    else ()
+                )
+                if isinstance(branch, ast.Call)
+            ]
+        )
+        for call in calls:
+            ref = self._ref_of_expr(call.func, local, infer=False)
+            if ref is None:
+                continue
+            if ref in ("functools.partial", "partial"):
+                inner = self._partial_target(call, local)
+                if inner is not None:
+                    local.aliases[name] = inner
+                return
+            local.var_types[name] = ref
+            return
+        # v = f — plain alias of a resolvable callable.
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            ref = self._ref_of_expr(value, local, infer=False)
+            if ref is not None:
+                local.aliases[name] = ref
+
+    def _annotation_class(self, ann: ast.expr) -> Optional[str]:
+        """First project-resolvable class ref inside an annotation."""
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            return self._ref_of_expr(ann, _EMPTY_LOCAL)
+        if isinstance(ann, ast.Subscript):
+            head = ann.value
+            head_name = (
+                head.id
+                if isinstance(head, ast.Name)
+                else head.attr
+                if isinstance(head, ast.Attribute)
+                else None
+            )
+            if head_name in ("Optional", "Union"):
+                inner = ann.slice
+                elements = (
+                    inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                )
+                for element in elements:
+                    ref = self._annotation_class(element)
+                    if ref is not None:
+                        return ref
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            return self._annotation_class(ann.left) or self._annotation_class(
+                ann.right
+            )
+        return None
+
+    # -- reference resolution ------------------------------------------
+    def _ref_of_expr(
+        self,
+        expr: ast.expr,
+        local: "_LocalScope",
+        *,
+        infer: bool = True,
+    ) -> Optional[str]:
+        """Dotted reference of a name/attribute chain, or None.
+
+        ``infer=False`` disables the use of inferred variable types (used
+        while *building* those inferences, to avoid self-reference).
+        """
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        root = node.id
+
+        if root in ("self", "cls") and local.class_name is not None:
+            if len(parts) == 1:
+                return f"{self.module}.{local.class_name}.{parts[0]}"
+            return None
+        if infer and root in local.var_types and parts:
+            return ".".join([local.var_types[root], *parts])
+        if infer and not parts and root in local.aliases:
+            return local.aliases[root]
+        if local.binds(root):
+            return None
+        origin = self.imports.get(root)
+        if origin is not None:
+            return ".".join([origin, *parts])
+        if root in self.module_defs:
+            return ".".join([self.module, root, *parts])
+        return None
+
+
+# ----------------------------------------------------------------------
+# Local scopes
+# ----------------------------------------------------------------------
+class _LocalScope:
+    """Names bound inside one function (nested defs folded in)."""
+
+    def __init__(self, class_name: Optional[str] = None):
+        self.class_name = class_name
+        self.names: Set[str] = set()
+        self.global_decls: Set[str] = set()
+        self.nested_defs: Set[str] = set()
+        self.var_types: Dict[str, str] = {}
+        self.aliases: Dict[str, str] = {}
+
+    def binds(self, name: str) -> bool:
+        return name in self.names
+
+    @classmethod
+    def of(
+        cls, node: ast.FunctionDef, class_name: Optional[str]
+    ) -> "_LocalScope":
+        scope = cls(class_name)
+        args = node.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            args.vararg,
+            args.kwarg,
+        ):
+            if arg is not None:
+                scope.names.add(arg.arg)
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Global):
+                scope.global_decls.update(inner.names)
+            elif isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inner is not node:
+                    scope.names.add(inner.name)
+                    scope.nested_defs.add(inner.name)
+            elif isinstance(inner, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    inner.targets
+                    if isinstance(inner, ast.Assign)
+                    else [inner.target]
+                )
+                for target in targets:
+                    scope.names.update(_bound_names(target))
+            elif isinstance(inner, ast.NamedExpr):
+                scope.names.update(_bound_names(inner.target))
+            elif isinstance(inner, ast.For):
+                scope.names.update(_bound_names(inner.target))
+            elif isinstance(inner, ast.With):
+                for item in inner.items:
+                    if item.optional_vars is not None:
+                        scope.names.update(_bound_names(item.optional_vars))
+            elif isinstance(inner, ast.ExceptHandler):
+                if inner.name:
+                    scope.names.add(inner.name)
+            elif isinstance(inner, ast.comprehension):
+                scope.names.update(_bound_names(inner.target))
+            elif isinstance(inner, (ast.Import, ast.ImportFrom)):
+                for alias in inner.names:
+                    if alias.name != "*":
+                        scope.names.add(
+                            alias.asname or alias.name.split(".", 1)[0]
+                        )
+        scope.names -= scope.global_decls
+        return scope
+
+
+def _bound_names(target: ast.expr) -> Sequence[str]:
+    if isinstance(target, ast.Name):
+        return (target.id,)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_bound_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _bound_names(target.value)
+    return ()
+
+
+_EMPTY_LOCAL = _LocalScope()

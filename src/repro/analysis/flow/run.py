@@ -1,0 +1,62 @@
+"""One-call driver for the whole-program passes (CLI ``--flow``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.finding import Finding
+from repro.analysis.flow.cache import SummaryCache
+from repro.analysis.flow.index import ProjectIndex
+from repro.analysis.flow.purity import ParallelPurityPass
+from repro.analysis.flow.taint import FlowFinding, NondetTaintPass
+from repro.analysis.rules import FLOW_RULE_IDS
+
+
+@dataclass
+class FlowResult:
+    """Everything one whole-program run produced."""
+
+    findings: List[Finding] = field(default_factory=list)  # unsuppressed
+    suppressed: int = 0
+    all_findings: List[FlowFinding] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_flow(
+    paths: Sequence[Path],
+    *,
+    rule_ids: Sequence[str] = FLOW_RULE_IDS,
+    cache: Optional[SummaryCache] = None,
+    index: Optional[ProjectIndex] = None,
+) -> FlowResult:
+    """Run the taint + purity passes over a project.
+
+    ``rule_ids`` selects which passes run (``--select``/``--ignore``
+    filtered by the CLI); ``cache`` enables the content-hash incremental
+    cache (saved back to disk by the caller); a pre-built ``index`` can be
+    supplied to skip indexing (tests, ``--explain``).
+    """
+    if index is None:
+        index = ProjectIndex.build(paths, cache=cache)
+    graph = index.callgraph()
+
+    collected: List[FlowFinding] = []
+    if "flow-nondet-taint" in rule_ids:
+        collected.extend(NondetTaintPass(index, graph).run())
+    if "flow-parallel-purity" in rule_ids:
+        collected.extend(ParallelPurityPass(index, graph).run())
+    collected.sort(key=lambda ff: ff.finding)
+
+    result = FlowResult(all_findings=collected, stats=index.stats())
+    for ff in collected:
+        if ff.suppressed:
+            result.suppressed += 1
+        else:
+            result.findings.append(ff.finding)
+    return result

@@ -1,4 +1,10 @@
-"""Render an AnalysisResult for humans or machines."""
+"""Render an AnalysisResult for humans or machines.
+
+The JSON schema is ``repro-lint/2``: version 2 added the top-level
+``schema`` key itself, the optional per-finding ``chain`` array (the
+source-to-sink call chain of whole-program flow findings), and the
+optional ``summary.flow`` statistics block emitted under ``--flow``.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +13,17 @@ from typing import List
 
 from repro.analysis.engine import AnalysisResult
 
+JSON_SCHEMA = "repro-lint/2"
+
 
 def format_human(result: AnalysisResult) -> str:
     """The classic linter layout: one line per finding, then a summary."""
-    lines: List[str] = [
-        f"{f.location}: {f.severity.label} [{f.rule_id}] {f.message}"
-        for f in result.findings
-    ]
+    lines: List[str] = []
+    for f in result.findings:
+        lines.append(
+            f"{f.location}: {f.severity.label} [{f.rule_id}] {f.message}"
+        )
+        lines.extend(f"    via {hop}" for hop in f.chain)
     if lines:
         lines.append("")
         per_rule = ", ".join(f"{rule}={n}" for rule, n in result.counts_by_rule())
@@ -31,18 +41,29 @@ def format_human(result: AnalysisResult) -> str:
             f"pushlint: {result.suppressed} suppressed inline, "
             f"{result.baselined} baselined"
         )
+    if result.flow_stats is not None:
+        stats = result.flow_stats
+        lines.append(
+            f"pushlint --flow: {stats.get('modules', 0)} module(s) indexed "
+            f"({stats.get('parsed', 0)} parsed, "
+            f"{stats.get('cached', 0)} from cache)"
+        )
     return "\n".join(lines)
 
 
 def format_json(result: AnalysisResult) -> str:
+    summary = {
+        "findings": len(result.findings),
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "files_checked": result.files_checked,
+        "rules": list(result.rule_ids),
+    }
+    if result.flow_stats is not None:
+        summary["flow"] = dict(result.flow_stats)
     payload = {
+        "schema": JSON_SCHEMA,
         "findings": [f.to_dict() for f in result.findings],
-        "summary": {
-            "findings": len(result.findings),
-            "suppressed": result.suppressed,
-            "baselined": result.baselined,
-            "files_checked": result.files_checked,
-            "rules": list(result.rule_ids),
-        },
+        "summary": summary,
     }
     return json.dumps(payload, indent=2)

@@ -12,6 +12,11 @@ from typing import Dict, List, Sequence, Tuple, Type
 from repro.analysis.rules.annotations import PublicApiAnnotationsRule
 from repro.analysis.rules.base import ImportMap, Rule, module_in
 from repro.analysis.rules.densify import NoMatrixDensifyRule
+from repro.analysis.rules.flow import (
+    FlowNondetTaintRule,
+    FlowParallelPurityRule,
+    FlowRule,
+)
 from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
 from repro.analysis.rules.layering import ImportLayeringRule
 from repro.analysis.rules.network import NoNetworkImportsRule
@@ -29,6 +34,14 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     DeterministicEmitRule,
     PublicApiAnnotationsRule,
     NoMatrixDensifyRule,
+    FlowNondetTaintRule,
+    FlowParallelPurityRule,
+)
+
+#: The subset of :data:`ALL_RULES` implemented by whole-program passes
+#: (run by the CLI under ``--flow``, not by the per-module engine).
+FLOW_RULE_IDS: Tuple[str, ...] = tuple(
+    rule.id for rule in ALL_RULES if issubclass(rule, FlowRule)
 )
 
 
@@ -56,6 +69,8 @@ def select_rules(
 
 __all__ = [
     "ALL_RULES",
+    "FLOW_RULE_IDS",
+    "FlowRule",
     "ImportMap",
     "Rule",
     "default_rules",

@@ -1,0 +1,52 @@
+"""Registry entries for the whole-program flow passes.
+
+The flow passes (:mod:`repro.analysis.flow`) are *interprocedural*: they
+need a project-wide index and call graph, so they cannot run inside the
+per-module :meth:`Rule.check` protocol. These classes exist to give the
+passes first-class rule identities — stable kebab-case ids that work with
+``--select`` / ``--ignore``, inline ``# pushlint: disable=...`` comments at
+the sink line, baselines, ``--list-rules`` and the docs drift test — while
+their per-module ``check`` is intentionally empty. The CLI runs the actual
+passes when invoked with ``--flow``.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator, Tuple
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import ModuleSource
+
+
+class FlowRule(Rule):
+    """Marker base: a rule implemented by a whole-program pass."""
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        """Whole-program rules produce nothing per module."""
+        return iter(())
+
+
+class FlowNondetTaintRule(FlowRule):
+    id: ClassVar[str] = "flow-nondet-taint"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): no nondeterminism source — wall-clock, "
+        "global RNG, unsorted filesystem enumeration, id()/hash() ordering "
+        "— may transitively reach an emit/report/serialization sink or a "
+        "PushAdMiner stage"
+    )
+
+
+class FlowParallelPurityRule(FlowRule):
+    id: ClassVar[str] = "flow-parallel-purity"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): every callable shipped across the process "
+        "boundary (ExecutionPlan.stream/run, pool.submit) must be a "
+        "module-level function whose transitive closure writes no module "
+        "state and reaches no nondeterminism source"
+    )
+
+
+FLOW_RULES: Tuple[type, ...] = (FlowNondetTaintRule, FlowParallelPurityRule)

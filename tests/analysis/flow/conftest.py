@@ -1,0 +1,35 @@
+"""Helpers for the whole-program (flow) analysis tests."""
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.analysis.flow import ProjectIndex, run_flow
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def build_index(*packages: str) -> ProjectIndex:
+    """Index one or more fixture packages by directory name."""
+    return ProjectIndex.build([FIXTURES / pkg for pkg in packages])
+
+
+def flow_over(*packages: str):
+    return run_flow([FIXTURES / pkg for pkg in packages])
+
+
+def write_package(root: Path, name: str, files: Dict[str, str]) -> Path:
+    """Materialize a synthetic package (module name -> source) under root."""
+    pkg = root / name
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text('"""synthetic."""\n')
+    for module, source in files.items():
+        (pkg / f"{module}.py").write_text(textwrap.dedent(source))
+    return pkg
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

@@ -1,0 +1,1 @@
+"""Synthetic package mirroring the repro.perf ExecutionPlan ship surface."""

@@ -1,0 +1,33 @@
+"""Ships kernels through ExecutionPlan.stream; per-file clean itself."""
+
+import random
+from typing import Any, List, Optional, Sequence
+
+from planpkg.plan import ExecutionPlan, Scheduler
+
+
+def jitter_kernel(operands: Sequence[Any], tile: Any) -> float:
+    return random.random()  # global RNG inside a worker payload
+
+
+def square_kernel(operands: Sequence[Any], tile: int) -> int:
+    return tile * tile
+
+
+def run_tiles(tiles: Sequence[int], plan: Optional[ExecutionPlan] = None) -> List[Any]:
+    plan = plan if plan is not None else ExecutionPlan()
+    return plan.stream(jitter_kernel, (), tiles)
+
+
+def run_squares(tiles: Sequence[int]) -> List[Any]:
+    return ExecutionPlan().stream(square_kernel, (), tiles)
+
+
+def run_lambda(tiles: Sequence[int]) -> List[Any]:
+    plan = ExecutionPlan()
+    return plan.stream(lambda operands, tile: tile, (), tiles)
+
+
+def run_scheduler(tiles: Sequence[int]) -> List[Any]:
+    # Same method name, different class: must NOT count as a ship site.
+    return Scheduler().stream(jitter_kernel, tiles)

@@ -1,0 +1,23 @@
+"""A stand-in ExecutionPlan: the name is what the purity pass keys on."""
+
+from typing import Any, Callable, List, Sequence
+
+
+class ExecutionPlan:
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+
+    def stream(
+        self,
+        kernel: Callable[..., Any],
+        operands: Sequence[Any],
+        tiles: Sequence[Any],
+    ) -> List[Any]:
+        return [kernel(operands, tile) for tile in tiles]
+
+
+class Scheduler:
+    """NOT an ExecutionPlan: its stream() is no process boundary."""
+
+    def stream(self, kernel: Callable[..., Any], items: Sequence[Any]) -> List[Any]:
+        return [kernel(item) for item in items]

@@ -1,0 +1,6 @@
+"""Synthetic package: impure callables shipped to worker processes.
+
+The driver module is per-file clean — nothing in it reads clocks or
+mutates globals — but the kernels it submits to a process pool do, which
+only the whole-program purity pass can see.
+"""

@@ -1,0 +1,32 @@
+"""Ships kernels across the process boundary; per-file clean itself."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import List
+
+from purepkg.kernels import impure_kernel, pure_kernel
+
+
+def run_impure(n: int) -> List[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(impure_kernel, i, i + 1) for i in range(n)]
+    return [f.result() for f in futures]
+
+
+def run_pure(n: int) -> List[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(pure_kernel, i, i + 1) for i in range(n)]
+    return [f.result() for f in futures]
+
+
+def run_partial(n: int) -> List[int]:
+    # functools.partial must unwrap to the underlying kernel.
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(partial(impure_kernel, 0), i) for i in range(n)]
+    return [f.result() for f in futures]
+
+
+def run_lambda(n: int) -> List[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda i: i * i, i) for i in range(n)]
+    return [f.result() for f in futures]

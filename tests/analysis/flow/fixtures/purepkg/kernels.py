@@ -1,0 +1,21 @@
+"""Worker kernels, one pure and two impure."""
+
+from typing import Dict, List
+
+_CACHE: Dict[int, int] = {}
+_LOG: List[str] = []
+
+
+def _memo(n: int) -> int:
+    if n not in _CACHE:
+        _CACHE[n] = n * n  # module-level mutation, invisible per-file
+    return _CACHE[n]
+
+
+def impure_kernel(lo: int, hi: int) -> int:
+    _LOG.append(f"{lo}:{hi}")
+    return sum(_memo(i) for i in range(lo, hi))
+
+
+def pure_kernel(lo: int, hi: int) -> int:
+    return sum(i * i for i in range(lo, hi))

@@ -1,0 +1,1 @@
+"""Synthetic package: a ``__getattr__`` re-export shim in the call path."""

@@ -1,0 +1,13 @@
+"""Back-compat shim: forwards moved names via module ``__getattr__``."""
+
+from typing import Any
+
+from shimpkg import modern as _modern
+
+_MOVED = ("tick", "steady")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        return getattr(_modern, name)
+    raise AttributeError(name)

@@ -1,0 +1,11 @@
+"""The real home of the moved symbol."""
+
+import time
+
+
+def tick() -> float:
+    return time.time()
+
+
+def steady() -> int:
+    return 7

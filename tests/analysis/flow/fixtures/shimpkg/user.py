@@ -1,0 +1,16 @@
+"""Calls the moved symbol through the shim; per-file clean itself."""
+
+from shimpkg.legacy import steady, tick
+
+
+class Widget:
+    def poll(self) -> float:
+        return tick()
+
+    def render_status(self) -> str:
+        # Sink: reaches time.time() through the shim AND through self.poll.
+        return f"{self.poll()}"
+
+
+def render_steady() -> str:
+    return f"{steady()}"

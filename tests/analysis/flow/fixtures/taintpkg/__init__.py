@@ -1,0 +1,6 @@
+"""Synthetic package: nondeterminism flows to a sink across modules.
+
+Every *sink* module here is clean under the per-file rules — the taint
+lives two call hops away — so any finding the flow pass reports on it is
+one the per-file engine provably cannot see.
+"""

@@ -1,0 +1,12 @@
+"""Wall-clock access buried behind a helper (taint source module)."""
+
+import time
+
+
+def _raw_now() -> float:
+    return time.time()
+
+
+def timestamp() -> float:
+    """Looks innocent from the outside; reads the wall clock inside."""
+    return _raw_now()

@@ -1,0 +1,20 @@
+"""Middle layer: forwards taint without containing any source itself."""
+
+import os
+from typing import Dict, List
+
+from taintpkg.clockio import timestamp
+
+
+def build_row(record: str) -> Dict[str, object]:
+    return {"record": record, "at": timestamp()}
+
+
+def scan_dir(root: str) -> List[str]:
+    # Unsorted filesystem enumeration: os-dependent ordering.
+    return [name for name in os.listdir(root) if name.endswith(".json")]
+
+
+def scan_dir_sorted(root: str) -> List[str]:
+    # The sorted() wrapper makes the enumeration order-safe.
+    return sorted(os.listdir(root))

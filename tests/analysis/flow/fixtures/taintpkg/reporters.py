@@ -1,0 +1,28 @@
+"""Sink module: per-file clean, transitively tainted.
+
+``format_report`` never touches ``time`` or ``os`` itself, so no per-file
+rule can fire here; only the whole-program taint pass connects it to the
+wall-clock read in ``clockio`` and the unsorted listing in ``helpers``.
+"""
+
+from typing import List
+
+from taintpkg.helpers import build_row, scan_dir, scan_dir_sorted
+
+
+def format_report(records: List[str], root: str) -> str:
+    rows = [build_row(record) for record in records]
+    files = scan_dir(root)
+    return "\n".join(str(row) for row in rows) + "\n".join(files)
+
+
+def format_clean(records: List[str], root: str) -> str:
+    """A sink whose whole transitive closure is deterministic."""
+    files = scan_dir_sorted(root)
+    return "\n".join(records) + "\n".join(files)
+
+
+def format_sanctioned(records: List[str], root: str) -> str:  # pushlint: disable=flow-nondet-taint
+    """Same taint as format_report, silenced at the sink line."""
+    rows = [build_row(record) for record in records]
+    return "\n".join(str(row) for row in rows)

@@ -1,0 +1,105 @@
+"""The content-hash incremental summary cache."""
+
+import json
+
+from repro.analysis.flow import ProjectIndex, SummaryCache
+
+from tests.analysis.flow.conftest import write_package
+
+PKG = {
+    "alpha": """
+        def one() -> int:
+            return 1
+        """,
+    "beta": """
+        from cachepkg.alpha import one
+
+
+        def two() -> int:
+            return one() + one()
+        """,
+    "gamma": """
+        def three() -> int:
+            return 3
+        """,
+}
+
+
+def test_warm_run_parses_nothing(tmp_path):
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+
+    cache = SummaryCache(cache_file)
+    cold = ProjectIndex.build([pkg], cache=cache)
+    assert cold.parsed == 4  # three modules + __init__
+    assert cold.cached == 0
+    cache.save()
+    assert cache_file.exists()
+
+    warm = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    assert warm.parsed == 0
+    assert warm.cached == 4
+    assert warm.modules.keys() == cold.modules.keys()
+
+
+def test_only_changed_file_reparses(tmp_path):
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache = SummaryCache(cache_file)
+    ProjectIndex.build([pkg], cache=cache)
+    cache.save()
+
+    (pkg / "gamma.py").write_text("def three() -> int:\n    return 33\n")
+    cache = SummaryCache(cache_file)
+    index = ProjectIndex.build([pkg], cache=cache)
+    assert index.parsed == 1
+    assert index.cached == 3
+    assert "cachepkg.gamma" in index.modules
+
+
+def test_cached_and_parsed_summaries_are_identical(tmp_path):
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache = SummaryCache(cache_file)
+    fresh = ProjectIndex.build([pkg], cache=cache)
+    cache.save()
+
+    warm = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    for module in fresh.modules:
+        assert warm.modules[module].to_dict() == fresh.modules[module].to_dict()
+
+
+def test_corrupt_cache_is_ignored(tmp_path):
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json")
+    index = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    assert index.parsed == 4
+
+
+def test_version_mismatch_invalidates_entries(tmp_path):
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache = SummaryCache(cache_file)
+    ProjectIndex.build([pkg], cache=cache)
+    cache.save()
+
+    payload = json.loads(cache_file.read_text())
+    for entry in payload["entries"].values():
+        entry["summary"]["version"] = -1
+    cache_file.write_text(json.dumps(payload))
+
+    index = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    assert index.parsed == 4
+    assert index.cached == 0
+
+
+def test_cache_file_is_deterministic(tmp_path):
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    first_file = tmp_path / "a.json"
+    second_file = tmp_path / "b.json"
+    for cache_file in (first_file, second_file):
+        cache = SummaryCache(cache_file)
+        ProjectIndex.build([pkg], cache=cache)
+        cache.save()
+    assert first_file.read_text() == second_file.read_text()

@@ -1,0 +1,149 @@
+"""CLI surface of the whole-program passes: --flow, --explain, filters."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.analysis.cli import main
+
+from tests.analysis.flow.conftest import FIXTURES
+
+
+@pytest.fixture
+def taint_tree(tmp_path):
+    shutil.copytree(FIXTURES / "taintpkg", tmp_path / "taintpkg")
+    return tmp_path / "taintpkg"
+
+
+def run_cli(capsys, *argv):
+    code = main([str(a) for a in argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestFlowFlag:
+    def test_flow_finds_interprocedural_taint(self, taint_tree, capsys):
+        code, out, _ = run_cli(capsys, "--flow", "--no-flow-cache", taint_tree)
+        assert code == 1
+        assert "flow-nondet-taint" in out
+        assert "via " in out  # chain hops rendered under the finding
+        assert "module(s) indexed" in out
+
+    def test_without_flow_the_sink_module_passes(self, taint_tree, capsys):
+        code, out, _ = run_cli(capsys, taint_tree / "reporters.py")
+        assert code == 0
+        assert "no findings" in out
+
+    def test_json_schema_v2_with_chains_and_stats(self, taint_tree, capsys):
+        _, out, _ = run_cli(
+            capsys, "--flow", "--no-flow-cache", "--format", "json", taint_tree
+        )
+        payload = json.loads(out)
+        assert payload["schema"] == "repro-lint/2"
+        assert payload["summary"]["flow"]["modules"] == 4
+        flow = [
+            f
+            for f in payload["findings"]
+            if f["rule"] == "flow-nondet-taint"
+        ]
+        assert flow
+        assert all(len(f["chain"]) >= 2 for f in flow)
+
+    def test_select_runs_flow_rules_in_isolation(self, taint_tree, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "--flow",
+            "--no-flow-cache",
+            "--select",
+            "flow-nondet-taint",
+            taint_tree,
+        )
+        assert code == 1
+        assert "flow-nondet-taint" in out
+        # Per-file findings (the time.time in clockio) are deselected.
+        assert "no-wallclock" not in out
+
+    def test_ignore_skips_a_flow_pass(self, taint_tree, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "--flow",
+            "--no-flow-cache",
+            "--select",
+            "flow-nondet-taint,flow-parallel-purity",
+            "--ignore",
+            "flow-nondet-taint",
+            taint_tree,
+        )
+        assert code == 0
+        assert "flow-nondet-taint" not in out
+
+    def test_list_rules_includes_flow_rules(self, capsys):
+        code, out, _ = run_cli(capsys, "--list-rules")
+        assert code == 0
+        assert "flow-nondet-taint" in out
+        assert "flow-parallel-purity" in out
+
+    def test_cache_round_trip_via_cli(self, taint_tree, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        run_cli(capsys, "--flow", "--flow-cache", cache, taint_tree)
+        assert cache.exists()
+        _, out, _ = run_cli(capsys, "--flow", "--flow-cache", cache, taint_tree)
+        assert "(0 parsed, 4 from cache)" in out
+
+
+class TestExplain:
+    def _fingerprint(self, capsys, tree):
+        _, out, _ = run_cli(
+            capsys, "--flow", "--no-flow-cache", "--format", "json", tree
+        )
+        payload = json.loads(out)
+        flow = [
+            f
+            for f in payload["findings"]
+            if f["rule"] == "flow-nondet-taint"
+        ]
+        return flow[0]
+
+    def test_explain_by_fingerprint_prefix(self, taint_tree, capsys):
+        finding = self._fingerprint(capsys, taint_tree)
+        code, out, _ = run_cli(
+            capsys,
+            "--explain",
+            finding["fingerprint"][:12],
+            "--no-flow-cache",
+            taint_tree,
+        )
+        assert code == 0
+        assert "chain:" in out
+        assert "wall-clock" in out or "fs-order" in out
+
+    def test_explain_by_path_and_line(self, taint_tree, capsys):
+        finding = self._fingerprint(capsys, taint_tree)
+        code, out, _ = run_cli(
+            capsys,
+            "--explain",
+            f"{finding['path']}:{finding['line']}",
+            "--no-flow-cache",
+            taint_tree,
+        )
+        assert code == 0
+        assert "fingerprint:" in out
+
+    def test_explain_shows_suppressed_findings(self, taint_tree, capsys):
+        # format_sanctioned is silenced in normal output but explainable.
+        _, out, _ = run_cli(
+            capsys, "--flow", "--no-flow-cache", "--format", "json", taint_tree
+        )
+        assert "format_sanctioned" not in out
+        code, out, _ = run_cli(
+            capsys, "--explain", "nomatch", "--no-flow-cache", taint_tree
+        )
+        assert code == 2
+
+    def test_explain_no_match_is_usage_error(self, taint_tree, capsys):
+        code, _, err = run_cli(
+            capsys, "--explain", "ffffffffffff", "--no-flow-cache", taint_tree
+        )
+        assert code == 2
+        assert "no flow finding matches" in err

@@ -1,0 +1,42 @@
+"""The tier-1 flow gate: ``src/repro`` is clean under both flow passes.
+
+Companion to ``tests/analysis/test_gate.py`` (the per-file gate): the
+whole-program taint and purity passes must also report nothing on the
+real tree, so nondeterminism cannot hide behind a call hop.
+"""
+
+from pathlib import Path
+
+from repro.analysis.flow import run_flow
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_has_zero_flow_findings():
+    result = run_flow([SRC])
+    assert result.stats["modules"] > 100, "gate must see the whole tree"
+    assert result.ok, "\n".join(
+        f"{f.location} [{f.rule_id}] {f.message}\n  "
+        + "\n  ".join(f.chain)
+        for f in result.findings
+    )
+
+
+def test_no_sanctioned_flow_suppressions_accumulate():
+    # Inline flow suppressions in src/repro are allowed but must stay
+    # rare and deliberate; this ratchet stops silent accumulation.
+    result = run_flow([SRC])
+    assert result.suppressed <= 2, (
+        "unexpected growth in flow suppressions; justify or fix instead"
+    )
+
+
+def test_flow_gate_is_deterministic():
+    first = run_flow([SRC])
+    second = run_flow([SRC])
+    assert first.findings == second.findings
+    assert [ff.finding for ff in first.all_findings] == [
+        ff.finding for ff in second.all_findings
+    ]
+    assert first.stats == second.stats
