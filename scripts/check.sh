@@ -56,6 +56,27 @@ fi
 step "tier-1 pytest (DeprecationWarning is an error)"
 python -m pytest -x -q -W error::DeprecationWarning "$@" || failures=$((failures + 1))
 
+step "crawl smoke (crawl_workers=2 byte-identity at scale 0.015)"
+python - <<'PYEOF' || failures=$((failures + 1))
+import dataclasses, json
+
+from repro import paper_scenario, run_full_crawl
+
+config = paper_scenario(seed=3, scale=0.015)
+
+def fingerprint(ds):
+    return json.dumps(
+        [dataclasses.asdict(r) for r in ds.records], sort_keys=True
+    )
+
+serial = run_full_crawl(config=config, crawl_workers=1)
+sharded = run_full_crawl(config=config, crawl_workers=2, shard_size=4)
+assert fingerprint(serial) == fingerprint(sharded), \
+    "crawl_workers=2 changed the dataset bytes"
+assert serial.summary() == sharded.summary()
+print("crawl smoke: workers=2 dataset byte-identical to serial")
+PYEOF
+
 step "bench smoke (scripts/bench.sh --smoke)"
 bench_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 scripts/bench.sh --smoke --output "$bench_out" || failures=$((failures + 1))

@@ -8,7 +8,7 @@ strictly below it):
     util, obs  <  webenv  <  push  <  browser  <  adblock
     util, obs  <  blocklists  <  core
     perf  <  core
-    core, browser, push, webenv  <  crawler  <  experiments
+    perf, core, browser, push, webenv  <  crawler  <  experiments
 
 ``repro.util`` and ``repro.perf`` import nothing from repro (``perf`` is
 pure numeric kernels — numpy/scipy only); ``repro.core`` never sees the
@@ -56,7 +56,9 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "blocklists": frozenset({"util", "obs"}),
     "perf": frozenset(),
     "core": frozenset({"util", "obs", "blocklists", "perf"}),
-    "crawler": frozenset({"util", "obs", "webenv", "push", "browser", "core"}),
+    "crawler": frozenset(
+        {"util", "obs", "webenv", "push", "browser", "core", "perf"}
+    ),
     "experiments": _BELOW_EXPERIMENTS,
 }
 

@@ -12,7 +12,8 @@ place wall-clock readings enter a committed artifact.
 harness end-to-end; the default scale matches ``benchmarks/``.
 
 ``--compare`` is the regression gate: re-run the committed baseline's
-scenario and fail when any pipeline stage regresses more than ``--tolerance``
+scenario (under its recorded perf configuration, crawl workers included) and
+fail when any crawl or pipeline stage regresses more than ``--tolerance``
 (default 25%) in wall time, or when the deterministic summary drifts at all.
 Stages whose baseline wall time is under ``--min-wall`` seconds are skipped —
 their timings are noise-dominated.
@@ -27,6 +28,7 @@ import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.pipeline import MinerConfig, PushAdMiner
+from repro.crawler.engine import DEFAULT_SHARD_SIZE
 from repro.crawler.harvest import run_full_crawl
 from repro.obs import PerfClock, Span, Tracer
 from repro.webenv.scenario import paper_scenario
@@ -68,11 +70,18 @@ def run_benchmark(
     tile_size: Optional[int] = None,
     precision: str = "float64",
     storage: str = "dense",
+    crawl_workers: int = 1,
+    crawl_shard_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """One crawl + pipeline run; returns the bench report payload."""
     tracer = Tracer(clock=PerfClock())
     config = paper_scenario(seed=seed, scale=scale)
-    dataset = run_full_crawl(config=config, tracer=tracer)
+    dataset = run_full_crawl(
+        config=config,
+        tracer=tracer,
+        crawl_workers=crawl_workers,
+        shard_size=crawl_shard_size,
+    )
     overrides: Dict[str, Any] = dict(
         workers=workers, precision=precision, storage=storage
     )
@@ -94,6 +103,12 @@ def run_benchmark(
             "tile_size": miner.config.tile_size,
             "precision": miner.config.precision,
             "storage": miner.config.storage,
+            "crawl_workers": crawl_workers,
+            "crawl_shard_size": (
+                crawl_shard_size
+                if crawl_shard_size is not None
+                else DEFAULT_SHARD_SIZE
+            ),
         },
         "crawl": {
             "wall_s": round(crawl_span.duration, 6),
@@ -110,43 +125,44 @@ def run_benchmark(
     }
 
 
-def _baseline_stage_walls(baseline: Dict[str, Any]) -> Dict[str, float]:
+#: Report sections whose per-stage wall times the compare gate covers.
+_GATED_SECTIONS: Tuple[str, ...] = ("crawl", "pipeline")
+
+
+def _baseline_stage_walls(
+    baseline: Dict[str, Any], section: str = "pipeline"
+) -> Dict[str, float]:
     return {
         row["stage"]: float(row["wall_s"])
-        for row in baseline.get("pipeline", {}).get("stages", [])
+        for row in baseline.get(section, {}).get("stages", [])
     }
 
 
 def annotate_speedups(
     payload: Dict[str, Any], baseline: Optional[Dict[str, Any]]
 ) -> None:
-    """Add ``speedup_vs_baseline`` to every pipeline stage row in place."""
+    """Add ``speedup_vs_baseline`` to every crawl/pipeline stage row in place."""
     if baseline is None:
         return
-    base_walls = _baseline_stage_walls(baseline)
-    for row in payload["pipeline"]["stages"]:
-        base = base_walls.get(row["stage"])
-        if base and row["wall_s"] > 0:
-            row["speedup_vs_baseline"] = round(base / row["wall_s"], 2)
+    for section in _GATED_SECTIONS:
+        base_walls = _baseline_stage_walls(baseline, section)
+        for row in payload.get(section, {}).get("stages", []):
+            base = base_walls.get(row["stage"])
+            if base and row["wall_s"] > 0:
+                row["speedup_vs_baseline"] = round(base / row["wall_s"], 2)
 
 
-def compare_reports(
+def _compare_section(
     fresh: Dict[str, Any],
     baseline: Dict[str, Any],
-    tolerance: float = DEFAULT_TOLERANCE,
-    min_wall: float = DEFAULT_MIN_WALL,
-) -> Tuple[List[str], List[str]]:
-    """``(failures, report_lines)`` for a fresh run against the baseline.
-
-    A pipeline stage fails when its wall time exceeds the baseline's by
-    more than ``tolerance`` (fractional); baseline stages under
-    ``min_wall`` seconds are reported but never failed, since timing noise
-    dominates them. The deterministic summary must match exactly.
-    """
-    failures: List[str] = []
-    lines: List[str] = []
-    base_walls = _baseline_stage_walls(baseline)
-    for row in fresh["pipeline"]["stages"]:
+    section: str,
+    tolerance: float,
+    min_wall: float,
+    failures: List[str],
+    lines: List[str],
+) -> None:
+    base_walls = _baseline_stage_walls(baseline, section)
+    for row in fresh[section]["stages"]:
         stage, wall = row["stage"], float(row["wall_s"])
         base = base_walls.get(stage)
         if base is None:
@@ -165,10 +181,34 @@ def compare_reports(
         else:
             lines.append(note)
     missing = sorted(
-        set(base_walls) - {r["stage"] for r in fresh["pipeline"]["stages"]}
+        set(base_walls) - {r["stage"] for r in fresh[section]["stages"]}
     )
     for stage in missing:
         failures.append(f"{stage}: present in baseline but missing from run")
+
+
+def compare_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_wall: float = DEFAULT_MIN_WALL,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, report_lines)`` for a fresh run against the baseline.
+
+    A crawl or pipeline stage fails when its wall time exceeds the
+    baseline's by more than ``tolerance`` (fractional); baseline stages
+    under ``min_wall`` seconds are reported but never failed, since timing
+    noise dominates them. The deterministic summary must match exactly.
+    Baselines written before the crawl section was gated (no crawl stage
+    rows) simply contribute no crawl comparisons.
+    """
+    failures: List[str] = []
+    lines: List[str] = []
+    for section in _GATED_SECTIONS:
+        if section in fresh:
+            _compare_section(
+                fresh, baseline, section, tolerance, min_wall, failures, lines
+            )
     if fresh["summary"] != baseline["summary"]:
         drift = sorted(
             k
@@ -204,7 +244,19 @@ def _run_compare(args: argparse.Namespace) -> int:
     scenario = baseline.get("scenario", {})
     seed = int(scenario.get("seed", args.seed))
     scale = float(scenario.get("scale", DEFAULT_SCALE))
-    payload = run_benchmark(seed=seed, scale=scale)
+    # Re-run under the baseline's recorded perf configuration (including
+    # crawl workers/shards) so stage walls compare like for like.
+    perf = baseline.get("perf", {})
+    payload = run_benchmark(
+        seed=seed,
+        scale=scale,
+        workers=int(perf.get("workers", 1)),
+        tile_size=perf.get("tile_size"),
+        precision=str(perf.get("precision", "float64")),
+        storage=str(perf.get("storage", "dense")),
+        crawl_workers=int(perf.get("crawl_workers", 1)),
+        crawl_shard_size=perf.get("crawl_shard_size"),
+    )
     failures, lines = compare_reports(
         payload, baseline, tolerance=args.tolerance, min_wall=args.min_wall
     )
@@ -234,6 +286,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "the harness in CI")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the distance kernels")
+    parser.add_argument("--crawl-workers", type=int, default=1,
+                        help="worker processes for crawl session shards")
+    parser.add_argument("--crawl-shard-size", type=int, default=None,
+                        help="sessions per crawl shard (default "
+                             f"{DEFAULT_SHARD_SIZE})")
     parser.add_argument("--tile-size", type=int, default=None,
                         help="kernel row-tile size (default MinerConfig's)")
     parser.add_argument("--precision", choices=("float64", "float32"),
@@ -269,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         tile_size=args.tile_size,
         precision=args.precision,
         storage=args.storage,
+        crawl_workers=args.crawl_workers,
+        crawl_shard_size=args.crawl_shard_size,
     )
     if (
         baseline is not None

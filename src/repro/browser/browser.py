@@ -220,7 +220,7 @@ class InstrumentedBrowser:
             )
 
         chain, landing = self.ecosystem.resolve_click(
-            creative, registration.network_name
+            creative, registration.network_name, rng=self.rng
         )
         self.network.follow_chain(chain, now_min)
         self.events.emit(

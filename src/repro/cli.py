@@ -32,6 +32,10 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the pairwise-distance "
                              "kernels (results are bit-identical for any "
                              "count; default 1 = serial)")
+    parser.add_argument("--crawl-workers", type=int, default=1,
+                        help="worker processes for crawl session shards "
+                             "(the dataset is byte-identical for any "
+                             "count; default 1 = serial)")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree after the run")
     parser.add_argument("--trace-json", metavar="PATH",
@@ -64,8 +68,10 @@ def _emit_trace(tracer: Optional[Tracer], args) -> None:
 def _crawl_dataset(args, tracer: Optional[Tracer] = None):
     config = paper_scenario(seed=args.seed, scale=args.scale)
     if tracer is not None:
-        return run_full_crawl(config=config, tracer=tracer)
-    return run_full_crawl(config=config)
+        return run_full_crawl(
+            config=config, tracer=tracer, crawl_workers=args.crawl_workers
+        )
+    return run_full_crawl(config=config, crawl_workers=args.crawl_workers)
 
 
 def cmd_crawl(args) -> int:

@@ -203,8 +203,7 @@ class AgglomerativeClusterer:
             merged = np.maximum(row_a, row_b)
         else:  # single
             merged = np.minimum(row_a, row_b)
-        # Entries involving a, b themselves stay inf via the caller's fixup.
-        merged = merged.copy()
+        # All three branches allocate a fresh array, safe to patch in place.
         merged[a] = np.inf
         merged[b] = np.inf
         return merged

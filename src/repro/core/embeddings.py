@@ -86,20 +86,29 @@ class PpmiSvdEmbeddings:
     def _cooccurrence(
         corpus: Sequence[Sequence[str]], vocabulary: Dict[str, int]
     ) -> sparse.csr_matrix:
+        """Message-level co-occurrence counts as ``X.T @ X``.
+
+        ``X`` is the binary document-term incidence matrix, so entry
+        ``(a, b)`` is the number of messages containing both tokens and the
+        diagonal is each token's document frequency — the same counts the
+        per-document pair loops produced, but built by one sparse matmul.
+        Counts are small exact integers in float64, so the result (and the
+        PPMI factorization downstream) is bit-identical to the loop version.
+        """
         rows: List[int] = []
         cols: List[int] = []
-        for tokens in corpus:
-            ids = sorted({vocabulary[t] for t in tokens if t in vocabulary})
-            for i, a in enumerate(ids):
-                for b in ids[i:]:
-                    rows.append(a)
-                    cols.append(b)
-                    if a != b:
-                        rows.append(b)
-                        cols.append(a)
-        data = np.ones(len(rows), dtype=np.float64)
+        for doc_idx, tokens in enumerate(corpus):
+            for token in sorted(set(tokens)):
+                idx = vocabulary.get(token)
+                if idx is not None:
+                    rows.append(doc_idx)
+                    cols.append(idx)
         v = len(vocabulary)
-        return sparse.csr_matrix((data, (rows, cols)), shape=(v, v))
+        incidence = sparse.csr_matrix(
+            (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+            shape=(len(corpus), v),
+        )
+        return (incidence.T @ incidence).tocsr()
 
     @staticmethod
     def _ppmi(cooc: sparse.csr_matrix) -> sparse.csr_matrix:

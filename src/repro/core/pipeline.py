@@ -228,7 +228,11 @@ class MinerConfig:
     changing *what* it computes: any tile size or worker count yields
     bit-identical matrices, while ``precision="float32"`` /
     ``storage="condensed"`` trade exactness for footprint (see
-    ``docs/PERFORMANCE.md``).
+    ``docs/PERFORMANCE.md``). ``crawl_workers`` does the same for the
+    crawl that *produces* a dataset: shards of container sessions fan out
+    to that many processes with byte-identical results for any value (the
+    CLI and benchmarks thread it into
+    :func:`~repro.crawler.harvest.run_full_crawl`).
     """
 
     seed: int = 0
@@ -241,6 +245,7 @@ class MinerConfig:
     months_elapsed: int = 1
     tile_size: int = DEFAULT_TILE_SIZE
     workers: int = 1
+    crawl_workers: int = 1
     precision: str = "float64"
     storage: str = "dense"
 
@@ -258,6 +263,8 @@ class MinerConfig:
             raise ValueError("tile_size must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.crawl_workers < 1:
+            raise ValueError("crawl_workers must be >= 1")
         if self.precision not in PRECISIONS:
             raise ValueError(
                 f"precision must be one of {PRECISIONS}, got {self.precision!r}"

@@ -8,6 +8,7 @@ harvests the browser logs into a :class:`~repro.crawler.harvest.WpnDataset`.
 
 from repro.crawler.seeds import SeedDiscovery, SeedRow
 from repro.crawler.session import ContainerSession, SessionResult
+from repro.crawler.engine import CrawlEngine, CrawlStats, PlatformWave
 from repro.crawler.scheduler import CrawlScheduler
 from repro.crawler.desktop import DesktopCrawler
 from repro.crawler.mobile import MobileCrawler
@@ -18,6 +19,9 @@ __all__ = [
     "SeedRow",
     "ContainerSession",
     "SessionResult",
+    "CrawlEngine",
+    "CrawlStats",
+    "PlatformWave",
     "CrawlScheduler",
     "DesktopCrawler",
     "MobileCrawler",

@@ -4,6 +4,14 @@
 use: generate (or accept) an ecosystem, discover seeds, run the desktop and
 mobile crawls, and return a :class:`WpnDataset` ready for the analysis
 pipeline.
+
+The crawl itself runs on the wave-structured
+:class:`repro.crawler.engine.CrawlEngine`: both platforms' seed sessions
+form wave 1, click-discovered landing sessions form wave 2, and each wave
+is executed as static shards over ``crawl_workers`` processes. Because
+every session is a pure kernel keyed by ``(seed, platform, url)`` and
+shard results are reduced in canonical order, the returned dataset is
+byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -13,14 +21,12 @@ from typing import Dict, List, Optional, Set
 
 from repro.browser.network import NetworkRequest
 from repro.core.records import WpnRecord
-from repro.crawler.desktop import DesktopCrawler
+from repro.crawler.engine import CrawlEngine, CrawlStats, PlatformWave
 from repro.crawler.mobile import MobileCrawler
-from repro.crawler.scheduler import CrawlStats
 from repro.crawler.seeds import SeedDiscovery, discover_seeds
 from repro.crawler.session import SessionResult
 from repro.obs import Tracer
 from repro.util.rng import RngFactory
-from repro.util.domains import effective_second_level_domain
 from repro.webenv.generator import WebEcosystem, generate_ecosystem
 from repro.webenv.scenario import ScenarioConfig
 
@@ -105,12 +111,17 @@ def run_full_crawl(
     ecosystem: Optional[WebEcosystem] = None,
     run_mobile: bool = True,
     tracer: Optional[Tracer] = None,
+    crawl_workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> WpnDataset:
     """Generate the world (unless given), seed, and crawl it end to end.
 
-    ``tracer`` (optional) records a ``crawl`` span tree — world generation,
-    seed discovery, one child span per platform crawl with session and
-    suspend/resume delivery counters — without affecting the dataset.
+    ``crawl_workers`` fans crawl shards out to that many processes (desktop
+    and mobile crawl concurrently); the dataset is byte-identical for any
+    value. ``tracer`` (optional) records a ``crawl`` span tree — world
+    generation, seed discovery, the two crawl waves with shard counters,
+    and per-platform session/delivery gauges — without affecting the
+    dataset.
     """
     tracer = tracer if tracer is not None else Tracer()
     with tracer.span("crawl") as crawl_span:
@@ -125,30 +136,50 @@ def run_full_crawl(
             seed_span.gauge("seed_urls", discovery.total_urls)
             seed_span.gauge("npr_urls", discovery.total_nprs)
 
-        with tracer.span("crawl.desktop") as desktop_span:
-            desktop = DesktopCrawler(ecosystem, rngs.stream("desktop"))
-            desktop_results = desktop.crawl(discovery)
-            _record_platform_stats(desktop_span, desktop.stats)
+        waves = [
+            PlatformWave(platform="desktop", sites=tuple(discovery.seed_sites))
+        ]
+        if run_mobile:
+            # The single device only has capacity for a sample of the
+            # NPR sites; the sample itself is drawn from a named stream,
+            # before any sharding, so it is worker-count independent.
+            mobile = MobileCrawler(ecosystem, rngs.stream("mobile"))
+            waves.append(
+                PlatformWave(
+                    platform="mobile",
+                    sites=tuple(mobile.select_sites(discovery)),
+                )
+            )
 
+        engine = CrawlEngine(
+            ecosystem,
+            workers=crawl_workers,
+            shard_size=shard_size,
+            tracer=tracer,
+        )
+        outcomes = engine.crawl(waves)
+        desktop_stats = outcomes["desktop"].stats
+        mobile_stats = (
+            outcomes["mobile"].stats if run_mobile else CrawlStats()
+        )
+
+        with tracer.span("crawl.desktop") as desktop_span:
+            _record_platform_stats(desktop_span, desktop_stats)
         if run_mobile:
             with tracer.span("crawl.mobile") as mobile_span:
-                mobile = MobileCrawler(ecosystem, rngs.stream("mobile"))
-                mobile_results = mobile.crawl(discovery)
-                mobile_stats = mobile.stats
                 _record_platform_stats(mobile_span, mobile_stats)
-        else:
-            mobile_results = []
-            mobile_stats = CrawlStats()
 
         dataset = WpnDataset(
             ecosystem=ecosystem,
             discovery=discovery,
             records=[],
-            desktop_stats=desktop.stats,
+            desktop_stats=desktop_stats,
             mobile_stats=mobile_stats,
         )
-        _collect(desktop_results, dataset)
-        _collect(mobile_results, dataset)
+        _collect(outcomes["desktop"].results, dataset)
+        if run_mobile:
+            _collect(outcomes["mobile"].results, dataset)
         crawl_span.gauge("records", len(dataset.records))
         crawl_span.gauge("valid_records", len(dataset.valid_records))
+        crawl_span.gauge("crawl_workers", crawl_workers)
     return dataset

@@ -1,56 +1,44 @@
 """Crawl scheduling: many container sessions over the study window.
 
 The paper staggered 20-50 parallel Docker containers over two months; what
-matters for the dataset is *which* URLs get sessions and when, so the
-scheduler assigns each seed URL a start time, runs its session, and feeds
-click-discovered landing URLs (that request permission) back into the queue
-as second-wave sessions — that is how 10,898 additional URLs entered the
-paper's crawl.
+matters for the dataset is *which* URLs get sessions and when.
+:class:`CrawlScheduler` is the single-platform serial driver: it runs its
+sites through the wave-structured :class:`repro.crawler.engine.CrawlEngine`
+(seed wave, then one wave of click-discovered landing sessions — how 10,898
+additional URLs entered the paper's crawl) with ``workers=1``. Sharded
+multi-platform crawls use the engine directly; both paths produce identical
+bytes because every session is a pure kernel keyed by ``(seed, platform,
+url)``.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional
 
+from repro.crawler.engine import CrawlEngine, CrawlStats, PlatformWave
 from repro.crawler.session import ContainerSession, LandingLead, SessionResult
 from repro.push.fcm import FcmService
-from repro.webenv.content import ALERT_FAMILIES
 from repro.webenv.generator import WebEcosystem
-from repro.util.urls import Url
-from repro.webenv.website import Website, publisher_page_source
+from repro.webenv.website import Website
 
-
-@dataclass
-class CrawlStats:
-    """Aggregate counters the measurement sections report."""
-
-    visited_urls: int = 0
-    npr_urls: int = 0
-    granted_urls: int = 0
-    registered_sw_urls: int = 0
-    discovered_landing_urls: int = 0
-    second_wave_urls: int = 0
-    notifications_collected: int = 0
-    notifications_valid: int = 0
-    live_deliveries: int = 0
-    queued_deliveries: int = 0
-
-    #: Delivery latency above which a notification is considered to have
-    #: waited in the FCM queue for a container resume (matches
-    #: :func:`repro.core.timeline.timeline_report`).
-    QUEUE_THRESHOLD_MIN = 1.0
+__all__ = ["CrawlScheduler", "CrawlStats"]
 
 
 class CrawlScheduler:
-    """Runs sessions for a platform, including second-wave landing visits."""
+    """Runs sessions for a platform, including second-wave landing visits.
+
+    ``rng`` and ``fcm`` are kept for API compatibility (experiments pass
+    dedicated streams/brokers) but no longer feed the sessions: each
+    container session derives its own keyed stream and namespaced broker
+    from what it visits, which is what makes scheduling order irrelevant.
+    """
 
     def __init__(
         self,
         ecosystem: WebEcosystem,
         platform: str,
-        rng: random.Random,
+        rng: Optional[random.Random] = None,
         fcm: Optional[FcmService] = None,
         emulated: bool = False,
     ):
@@ -59,28 +47,19 @@ class CrawlScheduler:
         self.ecosystem = ecosystem
         self.platform = platform
         self.rng = rng
-        self.fcm = fcm if fcm is not None else FcmService()
+        self.fcm = fcm
         self.emulated = emulated
         self.stats = CrawlStats()
-        self._visited_domains: Set[str] = set()
 
     def crawl(self, sites: List[Website]) -> List[SessionResult]:
         """Run a session per site, then one wave of landing-page sessions."""
-        results: List[SessionResult] = []
-        leads: List[LandingLead] = []
-        config = self.ecosystem.config
-        # Stagger visits over the first half of the study so queued messages
-        # still have time to arrive before the final drain.
-        horizon = config.study_minutes * 0.5
-        for site in sites:
-            start = self.rng.uniform(0.0, horizon)
-            results.append(self._run_session(site, start, leads))
-
-        second_wave = self._second_wave_sites(leads)
-        self.stats.second_wave_urls = len(second_wave)
-        for site, discovered_at in second_wave:
-            results.append(self._run_session(site, discovered_at, leads=None))
-        return results
+        engine = CrawlEngine(self.ecosystem)
+        wave = PlatformWave(
+            platform=self.platform, sites=tuple(sites), emulated=self.emulated
+        )
+        outcome = engine.crawl([wave])[self.platform]
+        self.stats.merge(outcome.stats)
+        return outcome.results
 
     # ------------------------------------------------------------------
     def _run_session(
@@ -89,80 +68,16 @@ class CrawlScheduler:
         start_min: float,
         leads: Optional[List[LandingLead]],
     ) -> SessionResult:
+        """Run one session at an explicit start time (pilot experiments)."""
         session = ContainerSession(
             ecosystem=self.ecosystem,
-            fcm=self.fcm,
             site=site,
             platform=self.platform,
-            rng=self.rng,
             start_min=start_min,
             emulated=self.emulated,
         )
         result = session.run()
-        self.stats.visited_urls += 1
-        if result.requested_permission:
-            self.stats.npr_urls += 1
-            self.stats.granted_urls += 1  # crawler auto-grants every prompt
-        if result.subscriptions:
-            self.stats.registered_sw_urls += 1
-        self.stats.notifications_collected += len(result.records)
-        self.stats.notifications_valid += sum(1 for r in result.records if r.valid)
-        for record in result.records:
-            if record.delivery_latency_min > CrawlStats.QUEUE_THRESHOLD_MIN:
-                self.stats.queued_deliveries += 1
-            else:
-                self.stats.live_deliveries += 1
+        self.stats.absorb(result)
         if leads is not None:
             leads.extend(result.landing_leads)
         return result
-
-    def _second_wave_sites(
-        self, leads: List[LandingLead]
-    ) -> List[Tuple[Website, float]]:
-        """Materialize websites for click-discovered landing URLs.
-
-        All discovered URLs count toward the crawl's URL total; only those
-        whose pages request notification permission get sessions that can
-        yield further WPNs.
-        """
-        config = self.ecosystem.config
-        seen_urls: Set[str] = set()
-        sites: List[Tuple[Website, float]] = []
-        seed_domains = {s.domain for s in self.ecosystem.websites}
-        for lead in leads:
-            if lead.url in seen_urls:
-                continue
-            seen_urls.add(lead.url)
-            url = Url.parse(lead.url)
-            if url.host in seed_domains or url.host in self._visited_domains:
-                continue
-            self._visited_domains.add(url.host)
-            self.stats.discovered_landing_urls += 1
-            if not lead.requests_permission:
-                continue
-            networks = lead.network_names or tuple(
-                [self.rng.choice(sorted(self.ecosystem.networks))]
-            )
-            own_family = self.rng.choice(ALERT_FAMILIES)
-            markers = tuple(
-                self.ecosystem.networks[name].sdk_marker
-                for name in networks
-                if name in self.ecosystem.networks
-            )
-            site = Website(
-                url=url,
-                kind="publisher",
-                page_source=publisher_page_source(markers or ("push-sw",)),
-                seed_keyword="(discovered-via-click)",
-                network_names=networks,
-                own_content_family=own_family.name,
-                requests_permission=True,
-                double_permission=False,
-                opt_in_rate=self.rng.uniform(0.02, 0.4),
-                active_notifier=self.rng.random()
-                < self.ecosystem.config.active_notifier_rate,
-                permission_delay_min=self.rng.uniform(0.1, 3.0),
-                discovered_via_click=True,
-            )
-            sites.append((site, lead.discovered_at_min))
-        return sites

@@ -10,7 +10,7 @@ resulting redirect chain + landing page recorded.
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
@@ -24,17 +24,37 @@ from repro.browser.notifications import WebNotification
 from repro.core.records import WpnRecord, WpnTruth
 from repro.push.fcm import FcmService, PushDelivery
 from repro.push.subscription import PushSubscription
+from repro.util.rng import RngFactory
 from repro.webenv.campaigns import MessageCreative
 from repro.webenv.content import family_by_name
 from repro.webenv.generator import WebEcosystem
 from repro.webenv.scenario import ScenarioConfig
 from repro.webenv.website import Website
 
-_WPN_COUNTER = itertools.count(1)
+
+def session_key(platform: str, url: str) -> str:
+    """Stable per-process-safe identity of one ``(platform, url)`` session.
+
+    blake2b rather than the builtin ``hash`` (salted per process); the key
+    prefixes WPN ids and FCM endpoints, so every id a session mints depends
+    only on what it visited — never on how many sessions ran before it in
+    the same interpreter or worker process.
+    """
+    digest = hashlib.blake2b(
+        f"{platform}|{url}".encode("utf-8"), digest_size=6
+    )
+    return digest.hexdigest()
 
 
-def _next_wpn_id() -> str:
-    return f"wpn{next(_WPN_COUNTER):07d}"
+def session_rng(seed: int, platform: str, url: str) -> random.Random:
+    """The session's own named stream, keyed by ``(seed, platform, url)``.
+
+    Replaces the old scheduler-wide shared ``random.Random``: with a keyed
+    stream, a session's draws are identical whether it runs first, last,
+    serially, or on any worker of a sharded crawl.
+    """
+    factory = RngFactory(seed).child("crawl-session")
+    return factory.stream(f"{platform}|{url}")
 
 
 @dataclass(frozen=True)
@@ -68,23 +88,35 @@ class ContainerSession:
     def __init__(
         self,
         ecosystem: WebEcosystem,
-        fcm: FcmService,
+        *,
         site: Website,
         platform: str,
-        rng: random.Random,
         start_min: float,
+        fcm: Optional[FcmService] = None,
+        rng: Optional[random.Random] = None,
         emulated: bool = False,
     ):
         self.ecosystem = ecosystem
         self.config: ScenarioConfig = ecosystem.config
-        self.fcm = fcm
         self.site = site
         self.platform = platform
-        self.rng = rng
+        self.session_key = session_key(platform, str(site.url))
+        # Defaults make the session a self-contained pure kernel: its own
+        # namespaced broker and its own keyed stream, derived from what it
+        # visits rather than received from a shared scheduler.
+        self.fcm = (
+            fcm if fcm is not None else FcmService(namespace=self.session_key)
+        )
+        self.rng = (
+            rng
+            if rng is not None
+            else session_rng(ecosystem.config.seed, platform, str(site.url))
+        )
         self.start_min = start_min
         self.emulated = emulated
+        self._wpn_index = 0
         self.browser = InstrumentedBrowser(
-            ecosystem, fcm, rng=rng, platform=platform
+            ecosystem, self.fcm, rng=self.rng, platform=platform
         )
         self.device = (
             AndroidDevice(browser=self.browser) if platform == "mobile" else None
@@ -274,8 +306,9 @@ class ContainerSession:
             is_one_off=creative.is_one_off,
         )
         landing = outcome.landing_page
+        self._wpn_index += 1
         return WpnRecord(
-            wpn_id=_next_wpn_id(),
+            wpn_id=f"wpn-{self.session_key}-{self._wpn_index:04d}",
             platform=self.platform,
             source_url=str(self.site.url),
             network_name=delivery.subscription.network_name,

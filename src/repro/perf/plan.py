@@ -12,10 +12,18 @@ The process backend uses :class:`concurrent.futures.ProcessPoolExecutor`;
 tile operands are pickled per task, so it only pays off once per-tile
 compute dominates serialization (large corpora). ``workers=1`` (the
 default) never touches multiprocessing.
+
+``broadcast=True`` ships the operands to each worker **once**, via the
+pool initializer, instead of once per tile — the right mode when the
+operands are large relative to a tile's result (the crawl engine's
+ecosystem is a multi-megabyte pickle shared by every shard). Under a
+``fork`` start method the broadcast is effectively free (copy-on-write);
+elsewhere it costs one pickle per worker rather than one per tile.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Sequence, TypeVar
@@ -23,6 +31,27 @@ from typing import Any, Callable, Iterator, List, Sequence, TypeVar
 DEFAULT_TILE_SIZE = 512
 
 _R = TypeVar("_R")
+
+#: Worker-process slot the pool initializer fills in; read-only afterwards.
+_BROADCAST_OPERANDS: Any = None
+
+
+def _install_broadcast_operands(operands: Any) -> None:
+    """Pool initializer: stash the shared operands in this worker."""
+    global _BROADCAST_OPERANDS
+    _BROADCAST_OPERANDS = operands
+
+
+def _run_broadcast_tile(kernel: Callable[[Any, Tile], _R], tile: Tile) -> _R:
+    """Trampoline: apply the kernel to the worker's installed operands."""
+    return kernel(_BROADCAST_OPERANDS, tile)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (cheap broadcast), platform default else."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 
 @dataclass(frozen=True)
@@ -82,6 +111,7 @@ class ExecutionPlan:
         kernel: Callable[[Any, Tile], _R],
         operands: Any,
         tiles: Sequence[Tile],
+        broadcast: bool = False,
     ) -> Iterator[_R]:
         """Yield ``kernel(operands, t)`` for every tile, in tile order.
 
@@ -91,15 +121,32 @@ class ExecutionPlan:
         backend submits every tile up front and yields results in
         submission order regardless of completion order. With it,
         ``kernel`` must be a module-level function and ``operands``
-        picklable.
+        picklable. ``broadcast=True`` installs the operands once per
+        worker (pool initializer) instead of pickling them per tile; the
+        kernel still receives ``(operands, tile)`` and results still
+        arrive in tile-index order, so outputs are bit-identical to the
+        per-tile path.
         """
         if self.workers == 1 or len(tiles) <= 1:
             for tile in tiles:
                 yield kernel(operands, tile)
             return
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(tiles))
-        ) as pool:
+        max_workers = min(self.workers, len(tiles))
+        if broadcast:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=_pool_context(),
+                initializer=_install_broadcast_operands,
+                initargs=(operands,),
+            ) as pool:
+                futures = [
+                    pool.submit(_run_broadcast_tile, kernel, tile)
+                    for tile in tiles
+                ]
+                for future in futures:
+                    yield future.result()
+            return
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [pool.submit(kernel, operands, tile) for tile in tiles]
             for future in futures:
                 yield future.result()
@@ -109,6 +156,7 @@ class ExecutionPlan:
         kernel: Callable[[Any, Tile], _R],
         operands: Any,
         tiles: Sequence[Tile],
+        broadcast: bool = False,
     ) -> List[_R]:
         """:meth:`stream`, materialized as a list (small workloads/tests)."""
-        return list(self.stream(kernel, operands, tiles))
+        return list(self.stream(kernel, operands, tiles, broadcast=broadcast))

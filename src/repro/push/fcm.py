@@ -40,9 +40,17 @@ class PushDelivery:
 
 
 class FcmService:
-    """Central push broker: subscribe, send, deliver-on-resume."""
+    """Central push broker: subscribe, send, deliver-on-resume.
 
-    def __init__(self):
+    ``namespace`` prefixes every minted endpoint / registration ID. The
+    parallel crawl gives each container session its own broker named after
+    the session key, so ids stay globally unique and deterministic even
+    though no counter is shared across sessions (or worker processes).
+    """
+
+    def __init__(self, namespace: str = ""):
+        self.namespace = namespace
+        self._prefix = f"{namespace}-" if namespace else ""
         self._counter = itertools.count(1)
         self._subs: Dict[str, PushSubscription] = {}
         self._queues: Dict[str, List[QueuedMessage]] = {}
@@ -62,8 +70,8 @@ class FcmService:
         """Create a subscription; mints registration ID + endpoint."""
         number = next(self._counter)
         sub = PushSubscription(
-            endpoint=f"https://fcm.example/send/{number:08d}",
-            registration_id=f"reg-{number:08d}",
+            endpoint=f"https://fcm.example/send/{self._prefix}{number:08d}",
+            registration_id=f"reg-{self._prefix}{number:08d}",
             origin=origin,
             source_url=source_url,
             sw_script_url=sw_script_url,

@@ -16,6 +16,7 @@ seed, the entire simulated push-ad world the crawler will measure:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -55,6 +56,16 @@ from repro.webenv.website import (
     plain_page_source,
     publisher_page_source,
 )
+
+
+def _keyed_unit_float(key: str) -> float:
+    """Uniform [0, 1) float derived statelessly from a string key.
+
+    blake2b rather than ``hash()``: the builtin is salted per process, so
+    worker processes would disagree on every derived decision.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
 
 
 @dataclass
@@ -151,15 +162,27 @@ class WebEcosystem:
     # Click resolution
     # ------------------------------------------------------------------
     def resolve_click(
-        self, message: MessageCreative, network_name: Optional[str]
+        self,
+        message: MessageCreative,
+        network_name: Optional[str],
+        rng: Optional[random.Random] = None,
     ) -> Tuple[RedirectChain, LandingPage]:
-        """Redirect chain and rendered landing page for a clicked WPN."""
+        """Redirect chain and rendered landing page for a clicked WPN.
+
+        ``rng`` is the clicking session's own stream. Parallel crawl
+        sessions must pass it: every draw here then depends only on that
+        session's keyed stream, never on how many clicks other sessions
+        resolved first. Without it the shared landing stream is used
+        (fine for single-session use and direct calls in tests).
+        """
+        if rng is None:
+            rng = self._landing_rng
         landing_url = Url(
             host=message.landing_domain,
             path=message.landing_path,
             query=message.landing_query,
         )
-        chain = self.redirect_builder.build(network_name, landing_url)
+        chain = self.redirect_builder.build(network_name, landing_url, rng=rng)
         campaign = (
             self._campaign_index.get(message.campaign_id)
             if message.campaign_id
@@ -167,7 +190,7 @@ class WebEcosystem:
         )
         operation_id = campaign.operation_id if campaign else None
         family = family_by_name(message.family_name)
-        page_signals = self._render_page_signals(family)
+        page_signals = self._render_page_signals(family, rng)
         page = LandingPage(
             url=landing_url,
             family_name=family.name,
@@ -182,7 +205,9 @@ class WebEcosystem:
         )
         return chain, page
 
-    def _render_page_signals(self, family: ContentFamily) -> Tuple[str, ...]:
+    def _render_page_signals(
+        self, family: ContentFamily, rng: random.Random
+    ) -> Tuple[str, ...]:
         """Elements actually present on one rendered landing page.
 
         Real pages vary: the family's signature elements usually but not
@@ -190,7 +215,6 @@ class WebEcosystem:
         and plenty of benign destinations sit behind login/signup forms —
         so page elements are evidence, not proof.
         """
-        rng = self._landing_rng
         signals = [s for s in family.page_signals if rng.random() < 0.85]
         if not family.malicious:
             if family.kind == "ad" and rng.random() < 0.30:
@@ -203,13 +227,18 @@ class WebEcosystem:
         """Whether this landing domain itself asks for push permission.
 
         Decided once per domain; clicking WPN ads is how the paper's crawl
-        discovered 10,898 further URLs, ~19% of which prompted.
+        discovered 10,898 further URLs, ~19% of which prompted. The
+        decision is a stateless hash of ``(seed, domain)`` — never a draw
+        from a shared stream — so it is identical no matter which session
+        (or worker process) first clicks through to the domain; the dict
+        is a pure memo.
         """
-        if domain not in self._landing_prompt_cache:
-            self._landing_prompt_cache[domain] = (
-                self._landing_rng.random() < self.config.landing_npr_rate
-            )
-        return self._landing_prompt_cache[domain]
+        decision = self._landing_prompt_cache.get(domain)
+        if decision is None:
+            key = f"landing-prompt|{self.config.seed}|{domain}"
+            decision = _keyed_unit_float(key) < self.config.landing_npr_rate
+            self._landing_prompt_cache[domain] = decision
+        return decision
 
     def networks_of_landing(self, message: MessageCreative) -> Tuple[str, ...]:
         """Ad networks a prompting landing page would subscribe the user to

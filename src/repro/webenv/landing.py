@@ -77,10 +77,17 @@ def visual_signature(family_name: str, operation_id: Optional[str]) -> str:
 
 
 class LandingInfrastructure:
-    """Registry of hosting facts (IP, registrant) per landing domain."""
+    """Registry of hosting facts (IP, registrant) per landing domain.
+
+    Facts for unregistered domains are *derived*, not allocated: a
+    construction-time salt (drawn once from the ecosystem seed) is hashed
+    with the domain, so the answer depends only on ``(salt, domain)`` and
+    never on lookup order. Sessions running in parallel worker processes
+    therefore see identical hosting facts regardless of who asks first.
+    """
 
     def __init__(self, rng: random.Random):
-        self._rng = rng
+        self._salt = rng.getrandbits(64).to_bytes(8, "big")
         self._ip: Dict[str, str] = {}
         self._registrant: Dict[str, str] = {}
 
@@ -89,19 +96,26 @@ class LandingInfrastructure:
         self._ip[domain] = ip_address
         self._registrant[domain] = registrant
 
+    def _digest(self, purpose: str, domain: str) -> bytes:
+        key = self._salt + purpose.encode("ascii") + b"|" + domain.encode("utf-8")
+        return hashlib.blake2b(key, digest_size=4).digest()
+
     def ip_of(self, domain: str) -> str:
-        """IP for the domain, allocating a generic one on first sight."""
-        if domain not in self._ip:
-            rng = self._rng
-            self._ip[domain] = (
-                f"104.{rng.randrange(10, 250)}.{rng.randrange(1, 250)}.{rng.randrange(2, 250)}"
-            )
-        return self._ip[domain]
+        """IP for the domain; generic ones derive from the domain itself."""
+        ip = self._ip.get(domain)
+        if ip is None:
+            d = self._digest("ip", domain)
+            ip = f"104.{10 + d[0] % 240}.{1 + d[1] % 249}.{2 + d[2] % 248}"
+            self._ip[domain] = ip
+        return ip
 
     def registrant_of(self, domain: str) -> str:
-        if domain not in self._registrant:
-            self._registrant[domain] = f"owner-{self._rng.randrange(10_000, 99_999)}@registrar.example"
-        return self._registrant[domain]
+        registrant = self._registrant.get(domain)
+        if registrant is None:
+            number = int.from_bytes(self._digest("reg", domain), "big")
+            registrant = f"owner-{10_000 + number % 89_999}@registrar.example"
+            self._registrant[domain] = registrant
+        return registrant
 
 
 class RedirectChainBuilder:
@@ -116,18 +130,23 @@ class RedirectChainBuilder:
         self,
         network_name: Optional[str],
         landing_url: Url,
+        rng: Optional[random.Random] = None,
     ) -> RedirectChain:
         """Chain from the network's click tracker to the landing URL.
 
         Non-ad alerts (``network_name is None``) navigate directly, with no
-        tracker hop.
+        tracker hop. ``rng`` is the clicking session's own stream; parallel
+        crawls must pass it so tracker ids never depend on click order
+        across sessions (the builder-wide stream remains as a fallback for
+        direct use).
         """
         if network_name is None:
             return RedirectChain(hops=(landing_url,))
         serving_domain = self._network_domains.get(network_name)
         if serving_domain is None:
             raise KeyError(f"unknown ad network: {network_name!r}")
-        rng = self._rng
+        if rng is None:
+            rng = self._rng
         hops: List[Url] = [
             Url(
                 host=f"click.{serving_domain}",

@@ -13,7 +13,7 @@ from repro.crawler.seeds import discover_seeds
 from repro.webenv.generator import generate_ecosystem
 
 
-SMALL_SEED = 7
+SMALL_SEED = 8
 SMALL_SCALE = 0.03
 
 

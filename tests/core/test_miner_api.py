@@ -175,17 +175,17 @@ class TestGoldenRegression:
     staged pipeline (and the seeded-SVD determinism fix) against drift."""
 
     GOLDEN_SUMMARY = {
-        "wpns_clustered": 435,
-        "wpn_clusters": 258,
-        "singleton_clusters": 197,
-        "ad_campaigns": 29,
-        "wpn_ads": 183,
-        "malicious_campaigns": 16,
-        "malicious_ads": 108,
-        "malicious_ad_pct": 59.0,
-        "meta_clusters": 67,
-        "suspicious_meta_clusters": 11,
-        "residual_singletons": 65,
+        "wpns_clustered": 524,
+        "wpn_clusters": 336,
+        "singleton_clusters": 246,
+        "ad_campaigns": 48,
+        "wpn_ads": 241,
+        "malicious_campaigns": 28,
+        "malicious_ads": 138,
+        "malicious_ad_pct": 57.3,
+        "meta_clusters": 72,
+        "suspicious_meta_clusters": 16,
+        "residual_singletons": 69,
     }
 
     def test_summary(self, small_result):
@@ -193,8 +193,8 @@ class TestGoldenRegression:
 
     def test_cut_threshold(self, small_result):
         assert small_result.cut_threshold == pytest.approx(
-            0.24845408312897785, abs=1e-12
+            0.17140258097139482, abs=1e-12
         )
         assert small_result.silhouette == pytest.approx(
-            0.400071435555009, abs=1e-12
+            0.4229129568440438, abs=1e-12
         )

@@ -1,0 +1,137 @@
+"""Worker-count invariance of the sharded crawl engine.
+
+The engine's contract is byte-identity: the serialized dataset, the crawl
+stats, and the full downstream PushAdMiner summary must not change with the
+number of crawl workers or the shard size. These tests also pin the
+regression that motivated per-session id derivation — a process-global WPN
+counter once made back-to-back crawls of the same scenario disagree on
+``wpn_id`` while every other field matched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+
+SEED = 11
+SCALE = 0.02
+
+
+def _dataset_bytes(dataset) -> str:
+    """Canonical serialization of every record, id included."""
+    return json.dumps(
+        [dataclasses.asdict(r) for r in dataset.records], sort_keys=True
+    )
+
+
+def _stats_bytes(dataset) -> str:
+    return json.dumps(
+        [
+            dataclasses.asdict(dataset.desktop_stats),
+            dataclasses.asdict(dataset.mobile_stats),
+        ],
+        sort_keys=True,
+    )
+
+
+def _miner_summary(dataset):
+    return PushAdMiner.for_dataset(dataset).run(dataset.valid_records).summary()
+
+
+@pytest.fixture(scope="module")
+def serial_dataset():
+    return run_full_crawl(
+        config=paper_scenario(seed=SEED, scale=SCALE), crawl_workers=1
+    )
+
+
+class TestBackToBackDeterminism:
+    def test_repeated_crawls_are_byte_identical(self, serial_dataset):
+        # Regression: a process-global WPN counter kept ticking across
+        # crawls, so a second crawl in the same interpreter minted
+        # different wpn_ids. Ids now derive from (platform, url, index).
+        again = run_full_crawl(config=paper_scenario(seed=SEED, scale=SCALE))
+        assert _dataset_bytes(again) == _dataset_bytes(serial_dataset)
+        assert _stats_bytes(again) == _stats_bytes(serial_dataset)
+
+    def test_wpn_ids_derive_from_session_not_process(self, serial_dataset):
+        from repro.crawler.session import session_key
+
+        for record in serial_dataset.records[:50]:
+            key = session_key(record.platform, record.source_url)
+            assert record.wpn_id.startswith(f"wpn-{key}-")
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_dataset_and_stats_invariant(self, serial_dataset, workers):
+        sharded = run_full_crawl(
+            config=paper_scenario(seed=SEED, scale=SCALE),
+            crawl_workers=workers,
+            shard_size=3,
+        )
+        assert _dataset_bytes(sharded) == _dataset_bytes(serial_dataset)
+        assert _stats_bytes(sharded) == _stats_bytes(serial_dataset)
+        assert sharded.summary() == serial_dataset.summary()
+
+    def test_both_platforms_covered(self, serial_dataset):
+        platforms = {r.platform for r in serial_dataset.records}
+        assert platforms == {"desktop", "mobile"}
+
+    def test_downstream_summary_invariant(self, serial_dataset):
+        sharded = run_full_crawl(
+            config=paper_scenario(seed=SEED, scale=SCALE),
+            crawl_workers=2,
+            shard_size=4,
+        )
+        assert _miner_summary(sharded) == _miner_summary(serial_dataset)
+
+    def test_shard_size_invariant(self, serial_dataset):
+        odd_shards = run_full_crawl(
+            config=paper_scenario(seed=SEED, scale=SCALE),
+            crawl_workers=1,
+            shard_size=1,
+        )
+        assert _dataset_bytes(odd_shards) == _dataset_bytes(serial_dataset)
+
+
+class TestEngineUnits:
+    def test_rejects_bad_workers(self, small_ecosystem):
+        from repro.crawler.engine import CrawlEngine
+
+        with pytest.raises(ValueError):
+            CrawlEngine(small_ecosystem, workers=0)
+        with pytest.raises(ValueError):
+            CrawlEngine(small_ecosystem, shard_size=0)
+
+    def test_rejects_duplicate_platforms(self, small_ecosystem):
+        from repro.crawler.engine import CrawlEngine, PlatformWave
+
+        engine = CrawlEngine(small_ecosystem)
+        waves = [
+            PlatformWave(platform="desktop", sites=()),
+            PlatformWave(platform="desktop", sites=()),
+        ]
+        with pytest.raises(ValueError):
+            engine.crawl(waves)
+
+    def test_rejects_unknown_platform(self):
+        from repro.crawler.engine import PlatformWave
+
+        with pytest.raises(ValueError):
+            PlatformWave(platform="vr", sites=())
+
+    def test_wave_spans_recorded(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        run_full_crawl(
+            config=paper_scenario(seed=SEED, scale=0.015), tracer=tracer
+        )
+        names = [s.name for s in tracer.root.walk()]
+        assert "crawl.wave1" in names
+        assert "crawl.wave2" in names
