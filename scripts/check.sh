@@ -46,6 +46,41 @@ if elapsed > budget:
 PYEOF
 rm -f "$flow_cache"
 
+# The cold parse has its own budget: --flow-workers 2 fans the AST
+# extraction over an ExecutionPlan, and the result must be byte-identical
+# to a serial cold run. Override with PUSHLINT_FLOW_COLD_BUDGET (seconds).
+step "pushlint --flow cold parse (--flow-workers 2 under ${PUSHLINT_FLOW_COLD_BUDGET:-25}s budget, byte-identity vs serial)"
+python - "${PUSHLINT_FLOW_COLD_BUDGET:-25}" <<'PYEOF' || failures=$((failures + 1))
+import subprocess, sys, tempfile, time
+
+budget = float(sys.argv[1])
+
+def cold_run(workers):
+    with tempfile.NamedTemporaryFile(suffix=".json") as cache:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--flow",
+             "--flow-workers", str(workers), "--format", "json",
+             "--flow-cache", cache.name, "src/repro"],
+            capture_output=True, text=True,
+        )
+        return proc, time.perf_counter() - start
+
+serial, _ = cold_run(1)
+parallel, elapsed = cold_run(2)
+sys.stderr.write(parallel.stderr)
+print(f"cold --flow-workers 2 run: {elapsed:.2f}s (budget {budget:.0f}s)")
+if serial.returncode != 0 or parallel.returncode != 0:
+    sys.exit(serial.returncode or parallel.returncode)
+if serial.stdout != parallel.stdout:
+    print("check.sh: --flow-workers 2 changed the --flow output bytes")
+    sys.exit(1)
+if elapsed > budget:
+    print(f"check.sh: cold --flow run blew the {budget:.0f}s budget")
+    sys.exit(1)
+print("cold --flow run: workers=2 output byte-identical to serial")
+PYEOF
+
 step "mypy (strict: repro.util, repro.analysis)"
 if python -c "import mypy" >/dev/null 2>&1; then
     python -m mypy src/repro/util src/repro/analysis || failures=$((failures + 1))
@@ -75,6 +110,52 @@ assert fingerprint(serial) == fingerprint(sharded), \
     "crawl_workers=2 changed the dataset bytes"
 assert serial.summary() == sharded.summary()
 print("crawl smoke: workers=2 dataset byte-identical to serial")
+PYEOF
+
+# DetSan: rerun the two pipeline halves under the runtime determinism
+# sanitizer — filesystem enumeration shuffled, tile submission permuted,
+# per-tile checksums verified against canonical recomputes — and demand
+# the same output bytes as an unperturbed run. The permutation seed is
+# randomized per invocation (printed for replay; pin with DETSAN_SEED).
+step "DetSan (crawl_workers=2 byte-identity + miner stage sweep under permuted order)"
+DETSAN_SEED="${DETSAN_SEED:-$RANDOM}" python - <<'PYEOF' || failures=$((failures + 1))
+import dataclasses, json, os
+
+from repro import PushAdMiner, paper_scenario, run_full_crawl
+from repro.analysis.sanitizer import DetSan, _checksum
+
+seed = int(os.environ["DETSAN_SEED"])
+print(f"DetSan seed: {seed} (replay with DETSAN_SEED={seed})")
+config = paper_scenario(seed=3, scale=0.015)
+
+def fingerprint(ds):
+    return json.dumps(
+        [dataclasses.asdict(r) for r in ds.records], sort_keys=True
+    )
+
+plain = run_full_crawl(config=config, crawl_workers=2, shard_size=4)
+with DetSan(seed=seed, verify_tiles=True) as san:
+    perturbed = run_full_crawl(config=config, crawl_workers=2, shard_size=4)
+assert san.report.streams_permuted > 0, "sanitizer never engaged the crawl"
+assert not san.report.divergences, san.report.divergences
+assert fingerprint(plain) == fingerprint(perturbed), \
+    "crawl bytes changed under permuted tile submission order"
+print(
+    f"DetSan crawl: byte-identical under {san.report.streams_permuted} "
+    f"permuted stream(s), {san.report.tiles_verified} tile(s) verified"
+)
+
+miner = PushAdMiner.for_dataset(plain)
+baseline = _checksum(miner.run(plain.valid_records))
+with DetSan(seed=seed + 1, verify_tiles=True) as san:
+    shaken = _checksum(miner.run(plain.valid_records))
+assert not san.report.divergences, san.report.divergences
+assert baseline == shaken, "miner output changed under DetSan"
+print(
+    f"DetSan miner: stage sweep identical "
+    f"({san.report.fs_shuffled} enumeration(s) shuffled, "
+    f"{san.report.tiles_checksummed} tile(s) checksummed)"
+)
 PYEOF
 
 step "bench smoke (scripts/bench.sh --smoke)"

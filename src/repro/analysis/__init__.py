@@ -13,18 +13,26 @@ or programmatically::
     result = AnalysisEngine().run([Path("src/repro")])
     assert result.ok, result.findings
 
-The per-file rules are complemented by two *whole-program* passes
-(``repro.analysis.flow``): cross-module nondeterminism taint and
-parallel-purity of callables shipped across the process boundary. Run
-them with ``python -m repro.analysis --flow`` or::
+The per-file rules are complemented by four *whole-program* passes
+(``repro.analysis.flow``): cross-module nondeterminism taint,
+parallel-purity of callables shipped across the process boundary,
+shared-state races between concurrent parties, and unordered reductions
+reaching emit/stage boundaries. Run them with
+``python -m repro.analysis --flow`` or::
 
     from repro.analysis import run_flow
     flow = run_flow([Path("src/repro")])
     assert flow.ok, flow.findings
 
-``repro.analysis`` sits at the bottom of the package DAG next to
-``repro.util``: it imports nothing from the rest of the repo, so it can
-judge every layer without being entangled with any.
+The static passes are cross-validated dynamically by
+``repro.analysis.sanitizer`` (DetSan), a runtime harness that shuffles
+every order the codebase promises not to depend on and checksums kernel
+outputs (see docs/ANALYSIS.md).
+
+``repro.analysis`` sits near the bottom of the package DAG: its only
+repro dependency is ``repro.perf`` (the cold parse fans out over an
+``ExecutionPlan``, and DetSan hooks it), so it can judge every other
+layer without being entangled with any.
 """
 
 from repro.analysis.baseline import Baseline

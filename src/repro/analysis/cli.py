@@ -93,8 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "also run the whole-program passes: cross-module "
-            "nondeterminism taint (flow-nondet-taint) and parallel purity "
-            "(flow-parallel-purity)"
+            "nondeterminism taint (flow-nondet-taint), parallel purity "
+            "(flow-parallel-purity), shared-state races "
+            "(flow-shared-state-race) and unordered reductions "
+            "(flow-unordered-reduction)"
+        ),
+    )
+    parser.add_argument(
+        "--flow-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "parallelize the cold --flow parse over N worker processes "
+            "(bit-identical output; default: 1)"
         ),
     )
     parser.add_argument(
@@ -177,7 +189,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache: Optional[SummaryCache] = None
         if not args.no_flow_cache:
             cache = SummaryCache(args.flow_cache or Path(DEFAULT_FLOW_CACHE))
-        flow_result = run_flow(paths, rule_ids=flow_ids, cache=cache)
+        if args.flow_workers < 1:
+            print(
+                "pushlint: error: --flow-workers must be >= 1",
+                file=sys.stderr,
+            )
+            return 2
+        flow_result = run_flow(
+            paths,
+            rule_ids=flow_ids,
+            cache=cache,
+            workers=args.flow_workers,
+        )
         if cache is not None:
             try:
                 cache.save()
@@ -214,10 +237,31 @@ def _matches(finding: Finding, query: str) -> bool:
 
 
 def _explain(query: str, flow_result: FlowResult) -> int:
-    """Print the call chain(s) behind a flow finding (``--explain``)."""
+    """Print the call chain(s) behind a flow finding (``--explain``).
+
+    The query is a fingerprint prefix or a ``path:line``. A fingerprint
+    prefix must be *unique* — when it matches several distinct
+    fingerprints the candidates are listed and nothing is explained
+    (``path:line`` may legitimately select several findings at one site).
+    """
     matched = [
         ff for ff in flow_result.all_findings if _matches(ff.finding, query)
     ]
+    prefix_fingerprints = sorted(
+        {
+            ff.finding.fingerprint
+            for ff in matched
+            if ff.finding.fingerprint.startswith(query)
+        }
+    )
+    if len(prefix_fingerprints) > 1:
+        listing = "\n".join(f"  {fp}" for fp in prefix_fingerprints)
+        print(
+            f"pushlint: --explain: ambiguous fingerprint prefix {query!r} "
+            f"matches {len(prefix_fingerprints)} findings:\n{listing}",
+            file=sys.stderr,
+        )
+        return 2
     if not matched:
         print(
             f"pushlint: --explain: no flow finding matches {query!r} "

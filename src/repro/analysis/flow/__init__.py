@@ -17,14 +17,24 @@ the interprocedural layer:
 * :class:`~repro.analysis.flow.purity.ParallelPurityPass`
   (rule ``flow-parallel-purity``) — verifies every callable shipped
   across the process boundary (``ExecutionPlan.stream``/``run``,
-  ``pool.submit``) is a pure module-level function.
+  ``pool.submit``) is a pure module-level function;
+* :class:`~repro.analysis.flow.races.SharedStateRacePass`
+  (rule ``flow-shared-state-race``) — reports write-write and read-write
+  conflicts on module-level state between concurrently-shipped kernels,
+  and between a kernel and its orchestrator between submit and join;
+* :class:`~repro.analysis.flow.races.UnorderedReductionPass`
+  (rule ``flow-unordered-reduction``) — reports completion-order and
+  float-accumulation merges reaching an emit sink or ``stage_*``
+  boundary without a canonical sort.
 
-Run both via ``python -m repro.analysis --flow`` or :func:`run_flow`.
+Run all of them via ``python -m repro.analysis --flow`` or
+:func:`run_flow`.
 """
 
-from repro.analysis.flow.cache import SummaryCache
+from repro.analysis.flow.cache import SummaryCache, ruleset_fingerprint
 from repro.analysis.flow.index import CallGraph, ProjectIndex
 from repro.analysis.flow.purity import ParallelPurityPass
+from repro.analysis.flow.races import SharedStateRacePass, UnorderedReductionPass
 from repro.analysis.flow.run import FlowResult, run_flow
 from repro.analysis.flow.summary import FunctionSummary, ModuleSummary
 from repro.analysis.flow.taint import NondetTaintPass
@@ -37,6 +47,9 @@ __all__ = [
     "NondetTaintPass",
     "ParallelPurityPass",
     "ProjectIndex",
+    "SharedStateRacePass",
     "SummaryCache",
+    "UnorderedReductionPass",
+    "ruleset_fingerprint",
     "run_flow",
 ]

@@ -15,7 +15,7 @@ import json
 from pathlib import Path
 from typing import Dict, Optional
 
-from repro.analysis.flow.summary import ModuleSummary
+from repro.analysis.flow.summary import SUMMARY_VERSION, ModuleSummary
 
 _CACHE_VERSION = "pushlint-flow-cache/1"
 
@@ -23,6 +23,23 @@ _CACHE_VERSION = "pushlint-flow-cache/1"
 def content_hash(data: bytes) -> str:
     """Stable digest of one file's bytes."""
     return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def ruleset_fingerprint() -> str:
+    """Digest of the registered ruleset + summary format.
+
+    Stored alongside the cache entries: a warm cache written by an older
+    pushlint (fewer rules, older pass versions, older extraction format)
+    is dropped wholesale, so stale summaries can never mask findings from
+    rules added since the cache was written.
+    """
+    from repro.analysis.rules import ALL_RULES  # deferred: rules are a peer
+
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(f"summary/{SUMMARY_VERSION}".encode("utf-8"))
+    for rule in ALL_RULES:
+        digest.update(f"|{rule.id}:{rule.description}".encode("utf-8"))
+    return digest.hexdigest()
 
 
 class SummaryCache:
@@ -49,6 +66,8 @@ class SummaryCache:
         if not isinstance(payload, dict):
             return
         if payload.get("version") != _CACHE_VERSION:
+            return
+        if payload.get("ruleset") != ruleset_fingerprint():
             return
         entries = payload.get("entries")
         if isinstance(entries, dict):
@@ -85,6 +104,7 @@ class SummaryCache:
             return
         payload = {
             "version": _CACHE_VERSION,
+            "ruleset": ruleset_fingerprint(),
             "entries": dict(sorted(self._entries.items())),
         }
         target.write_text(

@@ -25,8 +25,10 @@ from repro.analysis.flow.summary import (
     CallSite,
     ClassSummary,
     FunctionSummary,
+    MergeSource,
     ModuleSummary,
     ShipSite,
+    StateRead,
     StateWrite,
     TaintSource,
 )
@@ -63,6 +65,10 @@ _MUTATOR_METHODS = frozenset(
 # Methods that ship their first positional argument into worker processes.
 _SHIP_METHODS = frozenset({"stream", "run", "submit"})
 
+# Pool-result iterators that yield in completion order, not submission order.
+_COMPLETION_ORDER_CALLS = frozenset({"concurrent.futures.as_completed"})
+_COMPLETION_ORDER_METHODS = frozenset({"imap_unordered"})
+
 _RNG_RULE = NoUnseededRngRule()
 
 
@@ -79,6 +85,7 @@ class _ModuleExtractor:
         self.imports: Dict[str, str] = {}
         self.module_names: Set[str] = set()
         self.module_defs: Set[str] = set()  # top-level function/class names
+        self.module_data: Set[str] = set()  # top-level data bindings
 
     # ------------------------------------------------------------------
     # Module level
@@ -93,6 +100,7 @@ class _ModuleExtractor:
             path=self.src.path,
             imports=dict(self.imports),
             module_names=sorted(self.module_names),
+            data_names=sorted(self.module_data),
             suppressions=self.src.suppressions,
         )
         for node in tree.body:
@@ -170,6 +178,7 @@ class _ModuleExtractor:
                 for target in targets:
                     for name in _bound_names(target):
                         self.module_names.add(name)
+                        self.module_data.add(name)
 
     def _getattr_forward(self, node: ast.FunctionDef) -> Optional[str]:
         """Target module of a ``__getattr__`` re-export shim, if any.
@@ -210,6 +219,7 @@ class _ModuleExtractor:
         )
         exempt_rng = module_in(self.module, _RNG_RULE.exempt_prefixes)
 
+        seen_reads: Set[Tuple[str, str]] = set()
         for inner in ast.walk(node):
             if isinstance(inner, ast.Call):
                 self._record_call(fn, inner, local)
@@ -218,8 +228,11 @@ class _ModuleExtractor:
                 )
                 self._record_ship(fn, inner, local)
                 self._record_mutation(fn, inner, local)
+                self._record_merge(fn, inner, local)
             elif isinstance(inner, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
                 self._record_write(fn, inner, local)
+            elif isinstance(inner, (ast.Name, ast.Attribute)):
+                self._record_read(fn, inner, local, seen_reads)
         return fn
 
     # -- calls ----------------------------------------------------------
@@ -330,16 +343,26 @@ class _ModuleExtractor:
                         )
                     )
             elif isinstance(target, ast.Subscript):
-                name = self._module_state_root(target.value, local)
-                if name is not None:
+                root = self._module_state_root(target.value, local)
+                if root is not None:
                     fn.writes.append(
-                        StateWrite(name=name, how="subscript", line=node.lineno)
+                        StateWrite(
+                            name=root[0],
+                            how="subscript",
+                            line=node.lineno,
+                            attr=root[1],
+                        )
                     )
             elif isinstance(target, ast.Attribute):
-                name = self._module_state_root(target.value, local)
-                if name is not None:
+                root = self._module_state_root(target.value, local)
+                if root is not None:
                     fn.writes.append(
-                        StateWrite(name=name, how="attribute", line=node.lineno)
+                        StateWrite(
+                            name=root[0],
+                            how="attribute",
+                            line=node.lineno,
+                            attr=root[1] or target.attr,
+                        )
                     )
             elif isinstance(target, (ast.Tuple, ast.List)):
                 for element in target.elts:
@@ -362,24 +385,132 @@ class _ModuleExtractor:
         func = call.func
         if not isinstance(func, ast.Attribute) or func.attr not in _MUTATOR_METHODS:
             return
-        name = self._module_state_root(func.value, local)
-        if name is not None:
+        root = self._module_state_root(func.value, local)
+        if root is not None:
             fn.writes.append(
-                StateWrite(name=name, how="mutation", line=call.lineno)
+                StateWrite(
+                    name=root[0], how="mutation", line=call.lineno, attr=root[1]
+                )
             )
 
     def _module_state_root(
         self, expr: ast.expr, local: "_LocalScope"
-    ) -> Optional[str]:
-        """Module-level name at the root of a mutated expression, if any."""
+    ) -> Optional[Tuple[str, str]]:
+        """``(root, attr)`` of module-level state under a mutated expression.
+
+        ``attr`` is non-empty when the path runs through one attribute hop
+        rooted at a module-level name (``config.FLAGS[...] = v`` yields
+        ``("config", "FLAGS")``); a bare module-level root yields an empty
+        ``attr``.
+        """
+        attr = ""
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            attr = expr.attr
+            expr = expr.value
         if not isinstance(expr, ast.Name):
             return None
         name = expr.id
         if local.binds(name) and name not in local.global_decls:
             return None
         if name in self.module_names:
-            return name
+            return name, attr
         return None
+
+    # -- module-state reads ---------------------------------------------
+    def _record_read(
+        self,
+        fn: FunctionSummary,
+        node: "ast.Name | ast.Attribute",
+        local: "_LocalScope",
+        seen: Set[Tuple[str, str]],
+    ) -> None:
+        """Reads of module-level data, here or through an imported module.
+
+        Bare :class:`ast.Name` loads count only when the name is a
+        module-level *data* binding (or a ``global`` declaration) — reads
+        of functions, classes, and imported callables are not state.
+        Attribute loads count when rooted at an import alias
+        (``config.FLAGS``), excluding the callee position of a call.
+        """
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if isinstance(node, ast.Name):
+            name, attr = node.id, ""
+            if name not in self.module_data and name not in local.global_decls:
+                return
+            if local.binds(name):
+                return
+        else:
+            if not isinstance(node.value, ast.Name):
+                return
+            name, attr = node.value.id, node.attr
+            if local.binds(name) or name not in self.imports:
+                return
+            parent = self.src.parent(node)
+            if isinstance(parent, ast.Call) and parent.func is node:
+                return
+        if (name, attr) in seen:
+            return
+        seen.add((name, attr))
+        fn.reads.append(StateRead(name=name, line=node.lineno, attr=attr))
+
+    # -- order-sensitive merges -----------------------------------------
+    def _record_merge(
+        self, fn: FunctionSummary, call: ast.Call, local: "_LocalScope"
+    ) -> None:
+        """Reductions whose result depends on an unordered iteration.
+
+        ``kind="completion-order"``: pool results consumed as they finish
+        (``as_completed``, ``imap_unordered``). ``kind="float-accum"``:
+        builtin ``sum`` over a set expression, where float rounding makes
+        the total depend on hash-iteration order (``math.fsum`` is exact
+        and therefore sanctioned). Both escape via an immediate
+        ``sorted(...)`` wrap, same as filesystem enumeration.
+        """
+        func = call.func
+        ref = self._ref_of_expr(func, local)
+        if ref in _COMPLETION_ORDER_CALLS and not self._order_safe(call):
+            fn.merges.append(
+                MergeSource(kind="completion-order", what=ref, line=call.lineno)
+            )
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _COMPLETION_ORDER_METHODS
+            and not self._order_safe(call)
+        ):
+            fn.merges.append(
+                MergeSource(
+                    kind="completion-order",
+                    what=f".{func.attr}",
+                    line=call.lineno,
+                )
+            )
+            return
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "sum"
+            and not local.binds("sum")
+            and "sum" not in self.imports
+            and "sum" not in self.module_defs
+            and call.args
+            and self._unordered_operand(call.args[0], local)
+        ):
+            fn.merges.append(
+                MergeSource(
+                    kind="float-accum", what="sum(set)", line=call.lineno
+                )
+            )
+
+    def _unordered_operand(self, arg: ast.expr, local: "_LocalScope") -> bool:
+        """True for set literals/comprehensions and set()/frozenset() calls."""
+        if isinstance(arg, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name):
+            return arg.func.id in ("set", "frozenset") and not local.binds(
+                arg.func.id
+            )
+        return False
 
     # -- ship sites -----------------------------------------------------
     def _record_ship(

@@ -31,11 +31,39 @@ from repro.analysis.flow.summary import (
     ShipSite,
 )
 from repro.analysis.source import ModuleSource, SourceError, module_name_for
+from repro.perf.plan import ExecutionPlan, Tile
 
 #: A function's identity: ``(dotted module, qualname-within-module)``.
 FuncKey = Tuple[str, str]
 
 _MAX_RESOLVE_DEPTH = 16
+
+#: Files per parse tile. Fixed — never derived from the worker count — so
+#: the job split (and therefore the built index) is byte-identical at any
+#: ``workers`` setting.
+_PARSE_TILE_SIZE = 16
+
+#: One cold-parse job: ``(display path, module, is_package, source text)``.
+#: Decoding and module-name resolution happen in the orchestrator, so the
+#: kernel below touches no filesystem and no per-process caches.
+_ParseJob = Tuple[str, str, bool, str]
+
+
+def _extract_tile(
+    jobs: Sequence[_ParseJob], tile: Tile
+) -> List[Optional[ModuleSummary]]:
+    """Pure parse kernel: summaries for one tile of files, None on error."""
+    out: List[Optional[ModuleSummary]] = []
+    for display, module, is_package, text in jobs[tile.start : tile.stop]:
+        try:
+            src = ModuleSource(
+                text, path=display, module=module, is_package=is_package
+            )
+        except SourceError:
+            out.append(None)  # the per-file engine reports parse errors
+            continue
+        out.append(extract_module(src))
+    return out
 
 
 @dataclass(frozen=True)
@@ -76,14 +104,23 @@ class ProjectIndex:
         cls,
         paths: Sequence[Path],
         cache: Optional[SummaryCache] = None,
+        workers: int = 1,
     ) -> "ProjectIndex":
         """Index every ``.py`` file under ``paths``.
 
         With a cache, unchanged files (by content hash) reuse their stored
         summary and are not re-parsed; the cache is updated in memory —
-        call :meth:`SummaryCache.save` to persist it.
+        call :meth:`SummaryCache.save` to persist it. ``workers`` > 1 fans
+        the cold parse out over an :class:`ExecutionPlan` (summaries are
+        plain serializable facts); the file split is static and results
+        are merged in file order, so the index — and a cache saved from it
+        — is byte-identical at any worker count.
         """
         index = cls({})
+        ordered: List[Optional[ModuleSummary]] = []
+        jobs: List[_ParseJob] = []
+        slots: List[int] = []
+        digests: List[str] = []
         for file_path in iter_python_files(paths):
             display = _display_path(file_path)
             try:
@@ -92,24 +129,46 @@ class ProjectIndex:
                 continue
             digest = content_hash(data)
             summary = cache.get(display, digest) if cache is not None else None
-            if summary is None:
-                try:
-                    text = data.decode("utf-8")
-                    src = ModuleSource(
-                        text,
-                        path=display,
-                        module=module_name_for(file_path),
-                        is_package=file_path.name == "__init__.py",
-                    )
-                except (SourceError, UnicodeDecodeError):
-                    continue  # the per-file engine reports parse errors
-                summary = extract_module(src)
+            if summary is not None:
+                index.cached += 1
+                ordered.append(summary)
+                continue
+            try:
+                text = data.decode("utf-8")
+            except UnicodeDecodeError:
+                continue
+            slots.append(len(ordered))
+            ordered.append(None)
+            digests.append(digest)
+            jobs.append(
+                (
+                    display,
+                    module_name_for(file_path),
+                    file_path.name == "__init__.py",
+                    text,
+                )
+            )
+        if jobs:
+            plan = ExecutionPlan(
+                workers=max(1, workers), tile_size=_PARSE_TILE_SIZE
+            )
+            extracted: List[Optional[ModuleSummary]] = []
+            for tile_out in plan.stream(
+                _extract_tile, jobs, plan.tiles(len(jobs)), broadcast=True
+            ):
+                extracted.extend(tile_out)
+            for slot, job, digest, summary in zip(
+                slots, jobs, digests, extracted
+            ):
+                if summary is None:
+                    continue
                 index.parsed += 1
                 if cache is not None:
-                    cache.put(display, digest, summary)
-            else:
-                index.cached += 1
-            index.modules[summary.module] = summary
+                    cache.put(job[0], digest, summary)
+                ordered[slot] = summary
+        for summary in ordered:
+            if summary is not None:
+                index.modules[summary.module] = summary
         return index
 
     def stats(self) -> Dict[str, int]:

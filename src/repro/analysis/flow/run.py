@@ -10,6 +10,7 @@ from repro.analysis.finding import Finding
 from repro.analysis.flow.cache import SummaryCache
 from repro.analysis.flow.index import ProjectIndex
 from repro.analysis.flow.purity import ParallelPurityPass
+from repro.analysis.flow.races import SharedStateRacePass, UnorderedReductionPass
 from repro.analysis.flow.taint import FlowFinding, NondetTaintPass
 from repro.analysis.rules import FLOW_RULE_IDS
 
@@ -34,16 +35,19 @@ def run_flow(
     rule_ids: Sequence[str] = FLOW_RULE_IDS,
     cache: Optional[SummaryCache] = None,
     index: Optional[ProjectIndex] = None,
+    workers: int = 1,
 ) -> FlowResult:
-    """Run the taint + purity passes over a project.
+    """Run the taint + purity + race passes over a project.
 
     ``rule_ids`` selects which passes run (``--select``/``--ignore``
     filtered by the CLI); ``cache`` enables the content-hash incremental
     cache (saved back to disk by the caller); a pre-built ``index`` can be
-    supplied to skip indexing (tests, ``--explain``).
+    supplied to skip indexing (tests, ``--explain``); ``workers`` > 1
+    parallelizes the cold parse over an ``ExecutionPlan`` (bit-identical
+    to the serial build).
     """
     if index is None:
-        index = ProjectIndex.build(paths, cache=cache)
+        index = ProjectIndex.build(paths, cache=cache, workers=workers)
     graph = index.callgraph()
 
     collected: List[FlowFinding] = []
@@ -51,6 +55,10 @@ def run_flow(
         collected.extend(NondetTaintPass(index, graph).run())
     if "flow-parallel-purity" in rule_ids:
         collected.extend(ParallelPurityPass(index, graph).run())
+    if "flow-shared-state-race" in rule_ids:
+        collected.extend(SharedStateRacePass(index, graph).run())
+    if "flow-unordered-reduction" in rule_ids:
+        collected.extend(UnorderedReductionPass(index, graph).run())
     collected.sort(key=lambda ff: ff.finding)
 
     result = FlowResult(all_findings=collected, stats=index.stats())

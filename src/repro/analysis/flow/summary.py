@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.suppress import Suppressions
 
 #: Bump when the extraction format changes; stale cache entries are dropped.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -57,19 +57,86 @@ class TaintSource:
 
 @dataclass(frozen=True)
 class StateWrite:
-    """A write to module-level state observed in a function body."""
+    """A write to module-level state observed in a function body.
+
+    ``name`` is the root binding in the writing module's namespace; for a
+    write through an attribute chain rooted at a module-level name (e.g.
+    ``config.FLAGS[...] = v`` with ``config`` imported), ``attr`` carries
+    the first attribute so the race pass can canonicalize the location to
+    the module that owns it.
+    """
 
     name: str  # the module-level name written/mutated
     how: str  # "global-assign" | "mutation" | "subscript" | "attribute"
     line: int
+    attr: str = ""  # first attribute below the root, when written through one
 
     def to_dict(self) -> Dict[str, object]:
-        return {"name": self.name, "how": self.how, "line": self.line}
+        return {
+            "name": self.name,
+            "how": self.how,
+            "line": self.line,
+            "attr": self.attr,
+        }
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "StateWrite":
         return cls(
-            name=str(d["name"]), how=str(d["how"]), line=int(d["line"])  # type: ignore[arg-type]
+            name=str(d["name"]),
+            how=str(d["how"]),
+            line=int(d["line"]),  # type: ignore[arg-type]
+            attr=str(d.get("attr", "")),
+        )
+
+
+@dataclass(frozen=True)
+class StateRead:
+    """A read of module-level (or imported-module) state in a function body.
+
+    Mirrors :class:`StateWrite`: ``name`` is the root binding, ``attr`` the
+    first attribute when the read goes through one (``config.FLAGS``). The
+    race pass pairs reads against concurrent writes of the same canonical
+    location; reads on their own are harmless and carry no finding.
+    """
+
+    name: str
+    line: int
+    attr: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "line": self.line, "attr": self.attr}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "StateRead":
+        return cls(
+            name=str(d["name"]),
+            line=int(d["line"]),  # type: ignore[arg-type]
+            attr=str(d.get("attr", "")),
+        )
+
+
+@dataclass(frozen=True)
+class MergeSource:
+    """An order-sensitive reduction observed in a function body.
+
+    ``kind`` is ``"completion-order"`` for results consumed in pool
+    completion order (``concurrent.futures.as_completed``,
+    ``imap_unordered``) or ``"float-accum"`` for accumulation over an
+    unordered container (``sum`` of a set expression), where float
+    rounding makes the total order-dependent.
+    """
+
+    kind: str  # "completion-order" | "float-accum"
+    what: str  # e.g. "concurrent.futures.as_completed", "sum(set)"
+    line: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "what": self.what, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "MergeSource":
+        return cls(
+            kind=str(d["kind"]), what=str(d["what"]), line=int(d["line"])  # type: ignore[arg-type]
         )
 
 
@@ -123,7 +190,9 @@ class FunctionSummary:
     calls: List[CallSite] = field(default_factory=list)
     sources: List[TaintSource] = field(default_factory=list)
     writes: List[StateWrite] = field(default_factory=list)
+    reads: List[StateRead] = field(default_factory=list)
     ships: List[ShipSite] = field(default_factory=list)
+    merges: List[MergeSource] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -133,7 +202,9 @@ class FunctionSummary:
             "calls": [c.to_dict() for c in self.calls],
             "sources": [s.to_dict() for s in self.sources],
             "writes": [w.to_dict() for w in self.writes],
+            "reads": [r.to_dict() for r in self.reads],
             "ships": [s.to_dict() for s in self.ships],
+            "merges": [m.to_dict() for m in self.merges],
         }
 
     @classmethod
@@ -145,7 +216,9 @@ class FunctionSummary:
             calls=[CallSite.from_dict(c) for c in d.get("calls", ())],  # type: ignore[union-attr]
             sources=[TaintSource.from_dict(s) for s in d.get("sources", ())],  # type: ignore[union-attr]
             writes=[StateWrite.from_dict(w) for w in d.get("writes", ())],  # type: ignore[union-attr]
+            reads=[StateRead.from_dict(r) for r in d.get("reads", ())],  # type: ignore[union-attr]
             ships=[ShipSite.from_dict(s) for s in d.get("ships", ())],  # type: ignore[union-attr]
+            merges=[MergeSource.from_dict(m) for m in d.get("merges", ())],  # type: ignore[union-attr]
         )
 
 
@@ -186,6 +259,7 @@ class ModuleSummary:
     classes: Dict[str, ClassSummary] = field(default_factory=dict)
     imports: Dict[str, str] = field(default_factory=dict)  # local -> dotted
     module_names: List[str] = field(default_factory=list)  # top-level binds
+    data_names: List[str] = field(default_factory=list)  # top-level data binds
     getattr_forward: Optional[str] = None  # __getattr__ re-export target
     suppressions: Suppressions = field(default_factory=Suppressions)
 
@@ -200,6 +274,7 @@ class ModuleSummary:
             "classes": {n: c.to_dict() for n, c in sorted(self.classes.items())},
             "imports": dict(sorted(self.imports.items())),
             "module_names": sorted(self.module_names),
+            "data_names": sorted(self.data_names),
             "getattr_forward": self.getattr_forward,
             "suppressions": self.suppressions.to_dict(),
         }
@@ -224,6 +299,7 @@ class ModuleSummary:
                 str(k): str(v) for k, v in d.get("imports", {}).items()  # type: ignore[union-attr]
             },
             module_names=[str(n) for n in d.get("module_names", ())],  # type: ignore[union-attr]
+            data_names=[str(n) for n in d.get("data_names", ())],  # type: ignore[union-attr]
             getattr_forward=(
                 None
                 if d.get("getattr_forward") is None

@@ -16,6 +16,8 @@ from repro.analysis.rules.flow import (
     FlowNondetTaintRule,
     FlowParallelPurityRule,
     FlowRule,
+    FlowSharedStateRaceRule,
+    FlowUnorderedReductionRule,
 )
 from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
 from repro.analysis.rules.layering import ImportLayeringRule
@@ -36,6 +38,8 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     NoMatrixDensifyRule,
     FlowNondetTaintRule,
     FlowParallelPurityRule,
+    FlowSharedStateRaceRule,
+    FlowUnorderedReductionRule,
 )
 
 #: The subset of :data:`ALL_RULES` implemented by whole-program passes

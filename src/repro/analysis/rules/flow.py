@@ -49,4 +49,31 @@ class FlowParallelPurityRule(FlowRule):
     )
 
 
-FLOW_RULES: Tuple[type, ...] = (FlowNondetTaintRule, FlowParallelPurityRule)
+class FlowSharedStateRaceRule(FlowRule):
+    id: ClassVar[str] = "flow-shared-state-race"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): no module-level location may be written "
+        "by one concurrently-shipped kernel while another kernel (or the "
+        "orchestrator, between submit and join) reads or writes the same "
+        "location — write-write and read-write races"
+    )
+
+
+class FlowUnorderedReductionRule(FlowRule):
+    id: ClassVar[str] = "flow-unordered-reduction"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): results merged in completion order "
+        "(as_completed, imap_unordered) or accumulated over an unordered "
+        "container (sum over a set) must not reach an emit/serialization "
+        "sink or stage_* boundary without a canonical sort"
+    )
+
+
+FLOW_RULES: Tuple[type, ...] = (
+    FlowNondetTaintRule,
+    FlowParallelPurityRule,
+    FlowSharedStateRaceRule,
+    FlowUnorderedReductionRule,
+)

@@ -1,0 +1,8 @@
+"""Synthetic package: concurrent parties sharing module-level state.
+
+Every kernel here is individually simple; what breaks is the
+*composition* — two different kernels in flight writing the same dict,
+an orchestrator flipping config while a kernel reads it, and pool
+results merged in completion order on the way to an emit boundary. Only
+the whole-program race/reduction passes can see any of it.
+"""

@@ -1,0 +1,39 @@
+"""Ships kernel pairs; the race pass checks the composition."""
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List
+
+from racepkg import kernels
+from racepkg.kernels import count_kernel, pure_kernel, read_kernel, tally_kernel
+
+
+def run_pair(n: int) -> List[int]:
+    # Two different kernels in flight at once, both writing _PROGRESS.
+    with ProcessPoolExecutor() as pool:
+        first = [pool.submit(tally_kernel, i) for i in range(n)]
+        second = [pool.submit(count_kernel, i) for i in range(n)]
+    return [f.result() for f in (*first, *second)]
+
+
+def run_mode(n: int) -> List[str]:
+    # The orchestrator flips CONFIG between submit and join while
+    # read_kernel reads it: scheduling decides what each session sees.
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(read_kernel, i) for i in range(n)]
+        kernels.CONFIG["mode"] = "fast"
+    return [f.result() for f in futures]
+
+
+def run_repeat(n: int) -> List[int]:
+    # The same kernel shipped twice is ONE party: self-interleaving is
+    # the purity pass's business, not a cross-party race.
+    with ProcessPoolExecutor() as pool:
+        first = [pool.submit(tally_kernel, i) for i in range(n)]
+        second = [pool.submit(tally_kernel, i + n) for i in range(n)]
+    return [f.result() for f in (*first, *second)]
+
+
+def run_clean(n: int) -> List[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(pure_kernel, i, i + 1) for i in range(n)]
+    return [f.result() for f in futures]

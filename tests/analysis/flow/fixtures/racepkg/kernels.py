@@ -1,0 +1,24 @@
+"""Kernels sharing module-level state, plus a pure control."""
+
+from typing import Dict
+
+CONFIG: Dict[str, str] = {"mode": "slow"}
+_PROGRESS: Dict[str, int] = {}
+
+
+def tally_kernel(i: int) -> int:
+    _PROGRESS["tally"] = _PROGRESS.get("tally", 0) + i
+    return i
+
+
+def count_kernel(i: int) -> int:
+    _PROGRESS["count"] = i
+    return i
+
+
+def read_kernel(i: int) -> str:
+    return f"{i}:{CONFIG['mode']}"
+
+
+def pure_kernel(lo: int, hi: int) -> int:
+    return sum(i * i for i in range(lo, hi))

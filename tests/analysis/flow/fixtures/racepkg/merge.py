@@ -1,0 +1,47 @@
+"""Order-sensitive merges feeding emit/stage boundaries."""
+
+import math
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterable, List
+
+from racepkg.kernels import pure_kernel
+
+
+def _gather(n: int) -> List[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(pure_kernel, i, i + 1) for i in range(n)]
+        return [f.result() for f in as_completed(futures)]
+
+
+def emit_totals(n: int) -> str:
+    return ",".join(str(v) for v in _gather(n))
+
+
+def stage_collect(pool, jobs) -> List[int]:
+    return list(pool.imap_unordered(pure_kernel, jobs))
+
+
+def emit_submission_order(n: int) -> List[int]:
+    # Tile-index merge: gathered in submission order, no merge source.
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(pure_kernel, i, i + 1) for i in range(n)]
+    return [f.result() for f in futures]
+
+
+def emit_sorted_merge(pool, jobs) -> str:
+    # Canonical sort wrapped directly around the merge point: sanctioned.
+    return ",".join(str(v) for v in sorted(pool.imap_unordered(pure_kernel, jobs)))
+
+
+def emit_float_total(values: Iterable[float]) -> float:
+    return sum({round(v, 6) for v in values})
+
+
+def emit_fsum_total(values: Iterable[float]) -> float:
+    # math.fsum is correctly rounded, hence order-independent: sanctioned.
+    return math.fsum(sorted(values))
+
+
+def emit_sanctioned(pool, jobs) -> int:
+    # max() is order-insensitive, so completion order cannot leak out.
+    return max(pool.imap_unordered(pure_kernel, jobs))  # pushlint: disable=flow-unordered-reduction

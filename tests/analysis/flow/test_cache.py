@@ -103,3 +103,60 @@ def test_cache_file_is_deterministic(tmp_path):
         ProjectIndex.build([pkg], cache=cache)
         cache.save()
     assert first_file.read_text() == second_file.read_text()
+
+
+def test_ruleset_mismatch_invalidates_whole_cache(tmp_path):
+    # A cache written by a different ruleset (new rule, changed summary
+    # schema, edited description) must be dropped wholesale: its
+    # summaries may lack facts the new passes need.
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache = SummaryCache(cache_file)
+    ProjectIndex.build([pkg], cache=cache)
+    cache.save()
+
+    payload = json.loads(cache_file.read_text())
+    assert payload["ruleset"]  # fingerprint is recorded
+    payload["ruleset"] = "0" * len(payload["ruleset"])
+    cache_file.write_text(json.dumps(payload))
+
+    index = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    assert index.parsed == 4
+    assert index.cached == 0
+
+
+def test_ruleset_fingerprint_is_stable_within_a_version():
+    from repro.analysis.flow import ruleset_fingerprint
+
+    assert ruleset_fingerprint() == ruleset_fingerprint()
+    assert len(ruleset_fingerprint()) == 16  # blake2b-8 hex
+
+
+def test_parallel_cold_build_is_byte_identical(tmp_path):
+    # The cold parse fans out over an ExecutionPlan; worker count must
+    # change neither the index contents nor one byte of the saved cache.
+    big = dict(PKG)
+    for i in range(12):
+        big[f"extra{i}"] = f"""
+            def f{i}() -> int:
+                return {i}
+            """
+    pkg = write_package(tmp_path, "cachepkg", big)
+
+    caches = {}
+    indexes = {}
+    for workers in (1, 2, 4):
+        cache_file = tmp_path / f"cache-w{workers}.json"
+        cache = SummaryCache(cache_file)
+        indexes[workers] = ProjectIndex.build([pkg], cache=cache, workers=workers)
+        cache.save()
+        caches[workers] = cache_file.read_bytes()
+
+    assert caches[1] == caches[2] == caches[4]
+    for workers in (2, 4):
+        assert indexes[workers].modules.keys() == indexes[1].modules.keys()
+        for module in indexes[1].modules:
+            assert (
+                indexes[workers].modules[module].to_dict()
+                == indexes[1].modules[module].to_dict()
+            )

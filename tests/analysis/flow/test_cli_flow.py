@@ -147,3 +147,84 @@ class TestExplain:
         )
         assert code == 2
         assert "no flow finding matches" in err
+
+
+@pytest.fixture
+def race_tree(tmp_path):
+    # The marker makes tmp_path a project root, so finding paths (and
+    # hence fingerprints) are "racepkg/..." — identical on every run.
+    (tmp_path / "pyproject.toml").write_text("[tool.none]\n")
+    shutil.copytree(FIXTURES / "racepkg", tmp_path / "racepkg")
+    return tmp_path / "racepkg"
+
+
+class TestFlowWorkers:
+    def test_worker_count_never_changes_the_output(self, race_tree, capsys):
+        outputs = {}
+        for workers in (1, 2, 4):
+            code, out, _ = run_cli(
+                capsys,
+                "--flow",
+                "--no-flow-cache",
+                "--format",
+                "json",
+                "--flow-workers",
+                workers,
+                race_tree,
+            )
+            assert code == 1
+            outputs[workers] = out
+        assert outputs[1] == outputs[2] == outputs[4]
+
+    def test_zero_workers_is_a_usage_error(self, race_tree, capsys):
+        code, _, err = run_cli(
+            capsys, "--flow", "--flow-workers", 0, race_tree
+        )
+        assert code == 2
+        assert "--flow-workers" in err
+
+
+class TestExplainPrefixAmbiguity:
+    def _fingerprints(self, capsys, tree):
+        # Distinct fingerprints: repeated identical source lines (e.g.
+        # the same ship statement in two orchestrators) legitimately
+        # share one fingerprint and are not an ambiguity.
+        _, out, _ = run_cli(
+            capsys, "--flow", "--no-flow-cache", "--format", "json", tree
+        )
+        return sorted({f["fingerprint"] for f in json.loads(out)["findings"]})
+
+    def test_ambiguous_prefix_lists_candidates_and_exits_2(
+        self, race_tree, capsys
+    ):
+        fingerprints = self._fingerprints(capsys, race_tree)
+        ambiguous = next(
+            prefix
+            for length in range(1, 17)
+            for prefix in (f[:length] for f in fingerprints)
+            if sum(f.startswith(prefix) for f in fingerprints) > 1
+        )
+        code, out, err = run_cli(
+            capsys, "--explain", ambiguous, "--no-flow-cache", race_tree
+        )
+        assert code == 2
+        assert "ambiguous fingerprint prefix" in err
+        assert out == ""
+        for fingerprint in fingerprints:
+            if fingerprint.startswith(ambiguous):
+                assert fingerprint in err
+
+    def test_unique_prefix_explains_exactly_one(self, race_tree, capsys):
+        fingerprints = self._fingerprints(capsys, race_tree)
+        unique = next(
+            f[:length]
+            for length in range(1, 17)
+            for f in fingerprints
+            if sum(g.startswith(f[:length]) for g in fingerprints) == 1
+        )
+        code, out, _ = run_cli(
+            capsys, "--explain", unique, "--no-flow-cache", race_tree
+        )
+        assert code == 0
+        assert out.count("fingerprint:") == 1
+        assert "chain:" in out

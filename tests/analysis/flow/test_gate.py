@@ -1,13 +1,15 @@
-"""The tier-1 flow gate: ``src/repro`` is clean under both flow passes.
+"""The tier-1 flow gate: ``src/repro`` is clean under all four flow passes.
 
 Companion to ``tests/analysis/test_gate.py`` (the per-file gate): the
-whole-program taint and purity passes must also report nothing on the
-real tree, so nondeterminism cannot hide behind a call hop.
+whole-program taint, purity, race, and reduction passes must all report
+nothing on the real tree, so nondeterminism cannot hide behind a call
+hop — or behind the composition of two individually-clean kernels.
 """
 
 from pathlib import Path
 
 from repro.analysis.flow import run_flow
+from repro.analysis.rules import FLOW_RULE_IDS
 
 REPO_ROOT = Path(__file__).resolve().parents[3]
 SRC = REPO_ROOT / "src" / "repro"
@@ -21,6 +23,24 @@ def test_src_repro_has_zero_flow_findings():
         + "\n  ".join(f.chain)
         for f in result.findings
     )
+
+
+def test_gate_exercises_all_four_passes():
+    # The zero-findings gate only means something if every pass ran;
+    # each flow rule id must be selected by default, including the race
+    # and reduction passes.
+    assert FLOW_RULE_IDS == (
+        "flow-nondet-taint",
+        "flow-parallel-purity",
+        "flow-shared-state-race",
+        "flow-unordered-reduction",
+    )
+    result = run_flow([SRC])
+    for rule_id in FLOW_RULE_IDS:
+        assert not any(
+            ff.finding.rule_id == rule_id and not ff.suppressed
+            for ff in result.all_findings
+        ), rule_id
 
 
 def test_no_sanctioned_flow_suppressions_accumulate():

@@ -1,0 +1,174 @@
+"""The shared-state race + unordered-reduction passes on racepkg."""
+
+from repro.analysis import AnalysisEngine
+from repro.analysis.flow import run_flow
+
+from tests.analysis.flow.conftest import FIXTURES, flow_over, write_package
+
+
+def by_rule(result, rule_id):
+    return [ff for ff in result.all_findings if ff.finding.rule_id == rule_id]
+
+
+def races(result):
+    return by_rule(result, "flow-shared-state-race")
+
+
+def reductions(result):
+    return by_rule(result, "flow-unordered-reduction")
+
+
+class TestFixtureHygiene:
+    def test_racepkg_is_per_file_clean(self):
+        result = AnalysisEngine().run([FIXTURES / "racepkg"])
+        assert result.ok, [str(f) for f in result.findings]
+
+
+class TestSharedStateRaces:
+    def test_kernel_kernel_write_write_race(self):
+        result = flow_over("racepkg")
+        pair = [
+            ff.finding
+            for ff in races(result)
+            if "run_pair" in ff.finding.message
+        ]
+        assert len(pair) == 1
+        finding = pair[0]
+        assert "write-write" in finding.message
+        assert "racepkg.kernels._PROGRESS" in finding.message
+        assert "tally_kernel" in finding.message
+        assert "count_kernel" in finding.message
+        # Reported at the ship site inside the orchestrator, with both
+        # parties' chains concatenated.
+        assert finding.path.endswith("racepkg/driver.py")
+        writes = [hop for hop in finding.chain if hop.startswith("writes ")]
+        assert len(writes) == 2
+
+    def test_kernel_orchestrator_read_write_race(self):
+        result = flow_over("racepkg")
+        mode = [
+            ff.finding
+            for ff in races(result)
+            if "run_mode" in ff.finding.message
+        ]
+        assert len(mode) == 1
+        finding = mode[0]
+        assert "read-write" in finding.message
+        assert "racepkg.kernels.CONFIG" in finding.message
+        assert "between submit and join" in finding.message
+        assert "read_kernel" in finding.message
+
+    def test_same_kernel_shipped_twice_is_one_party(self):
+        # run_repeat ships tally_kernel from two sites; a kernel cannot
+        # race its own per-process copy, so the race pass stays silent
+        # (the purity pass still reports the impurity itself).
+        result = flow_over("racepkg")
+        assert not any(
+            "run_repeat" in ff.finding.message for ff in races(result)
+        )
+        assert any(
+            "run_repeat" in str(ff.finding)
+            or ff.finding.line in (31, 32)
+            for ff in result.all_findings
+            if ff.finding.rule_id == "flow-parallel-purity"
+        )
+
+    def test_pure_kernel_group_is_clean(self):
+        result = flow_over("racepkg")
+        assert not any(
+            "run_clean" in ff.finding.message for ff in races(result)
+        )
+
+    def test_suppression_on_ship_line(self, tmp_path):
+        write_package(
+            tmp_path,
+            "sanctpkg",
+            {
+                "kernels": """
+                    STATE = {}
+
+
+                    def writer(i: int) -> int:
+                        STATE[i] = i
+                        return i
+
+
+                    def reader(i: int) -> int:
+                        return STATE.get(i, 0)
+                    """,
+                "driver": """
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    from sanctpkg.kernels import reader, writer
+
+
+                    def run(n: int) -> None:
+                        with ProcessPoolExecutor() as pool:
+                            for i in range(n):
+                                pool.submit(writer, i)  # pushlint: disable=flow-shared-state-race,flow-parallel-purity
+                                pool.submit(reader, i)  # pushlint: disable=flow-shared-state-race
+                    """,
+            },
+        )
+        result = run_flow([tmp_path / "sanctpkg"])
+        found = races(result)
+        assert found, "race must still be discovered"
+        assert all(ff.suppressed for ff in found)
+        assert not any(
+            ff.finding.rule_id == "flow-shared-state-race"
+            for ff in result.all_findings
+            if not ff.suppressed
+        )
+
+
+class TestUnorderedReductions:
+    def test_as_completed_reaching_emit_sink(self):
+        result = flow_over("racepkg")
+        totals = [
+            ff.finding
+            for ff in reductions(result)
+            if "emit_totals" in ff.finding.message
+        ]
+        assert len(totals) == 1
+        finding = totals[0]
+        assert "completion-order" in finding.message
+        assert "concurrent.futures.as_completed" in finding.message
+        # The merge lives one hop away in _gather; the chain shows it.
+        assert any("_gather" in hop for hop in finding.chain)
+        assert "merge" in finding.chain[-1]
+
+    def test_imap_unordered_reaching_stage_boundary(self):
+        result = flow_over("racepkg")
+        stage = [
+            ff.finding
+            for ff in reductions(result)
+            if "stage_collect" in ff.finding.message
+        ]
+        assert len(stage) == 1
+        assert "pipeline stage" in stage[0].message
+        assert ".imap_unordered" in stage[0].message
+
+    def test_float_sum_over_set(self):
+        result = flow_over("racepkg")
+        floats = [
+            ff.finding
+            for ff in reductions(result)
+            if "emit_float_total" in ff.finding.message
+        ]
+        assert len(floats) == 1
+        assert "float-accum" in floats[0].message
+        assert "sum(set)" in floats[0].message
+
+    def test_sanctioned_patterns_stay_silent(self):
+        result = flow_over("racepkg")
+        messages = [ff.finding.message for ff in reductions(result)]
+        # Submission-order gather, sorted() wrap, math.fsum: no merge
+        # source; the disable directive on the merge line sanctions
+        # emit_sanctioned for every sink that reaches it.
+        for clean in (
+            "emit_submission_order",
+            "emit_sorted_merge",
+            "emit_fsum_total",
+            "emit_sanctioned",
+        ):
+            assert not any(clean in m for m in messages), clean

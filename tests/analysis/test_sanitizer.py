@@ -1,0 +1,211 @@
+"""DetSan, the runtime determinism sanitizer, on synthetic kernels.
+
+Each test drives the sanitizer against a hand-built violation (or
+non-violation) so every hook is proven to fire — mirroring how
+``tests/analysis/flow/test_races.py`` proves the static detectors fire
+on racepkg. The hooks patch process-global state, so every installation
+here is scoped by the context manager and the last test asserts full
+restoration.
+"""
+
+import glob
+import os
+import pathlib
+import pickle
+import random
+import time
+
+import pytest
+
+# Every test here installs its own DetSan; nesting under the session
+# sanitizer of a REPRO_DETSAN=1 run would double-permute and advance the
+# session RNG between the seed-determinism assertions.
+pytestmark = pytest.mark.no_detsan
+
+from repro.analysis.sanitizer import (
+    DetSan,
+    DetSanViolation,
+    _checksum,
+    session_report,
+)
+from repro.perf.plan import ExecutionPlan
+
+# A module whose __name__ places its frames inside the repro namespace,
+# so the caller-gated hooks treat these helpers as repro code.
+_REPRO_NS = {"__name__": "repro._detsan_probe", "os": os, "glob": glob}
+exec(
+    "def probe_listdir(path):\n"
+    "    return os.listdir(path)\n"
+    "def probe_glob(pattern):\n"
+    "    return glob.glob(pattern)\n"
+    "def probe_clock(time_mod):\n"
+    "    return time_mod.time()\n"
+    "def probe_rng(random_mod):\n"
+    "    return random_mod.random()\n",
+    _REPRO_NS,
+)
+
+
+def stateful_kernel(operands, tile):
+    # Result depends on how many tiles ran before: the canonical
+    # recompute sees more accumulated state than the permuted run did.
+    operands.append(tile.start)
+    return (tile.start, len(operands))
+
+
+def pure_kernel(operands, tile):
+    return [operands[i] * 2 for i in range(tile.start, tile.stop)]
+
+
+@pytest.fixture
+def tree(tmp_path):
+    for name in ("cc", "aa", "bb", "dd"):
+        (tmp_path / name).write_text(name)
+    return tmp_path
+
+
+class TestFilesystemShuffle:
+    def test_listdir_from_repro_code_is_shuffled(self, tree):
+        with DetSan(seed=5) as san:
+            entries = _REPRO_NS["probe_listdir"](str(tree))
+        assert sorted(entries) == ["aa", "bb", "cc", "dd"]
+        assert san.report.fs_shuffled >= 1
+
+    def test_shuffle_is_seed_deterministic(self, tree):
+        runs = []
+        for _ in range(2):
+            with DetSan(seed=5):
+                runs.append(_REPRO_NS["probe_listdir"](str(tree)))
+        assert runs[0] == runs[1]
+
+    def test_glob_from_repro_code_is_shuffled_counted(self, tree):
+        with DetSan(seed=5) as san:
+            found = _REPRO_NS["probe_glob"](str(tree / "*"))
+        assert len(found) == 4
+        assert san.report.fs_shuffled >= 1
+
+    def test_non_repro_callers_see_the_real_order(self, tree):
+        # This test module is not repro.*, so direct calls are untouched.
+        with DetSan(seed=5) as san:
+            direct = os.listdir(str(tree))
+        assert direct == sorted(os.listdir(str(tree))) or san.report.fs_shuffled == 0
+
+
+class TestStreamPermutation:
+    def test_pure_kernel_survives_verify(self):
+        plan = ExecutionPlan(tile_size=3)
+        operands = list(range(10))
+        with DetSan(seed=7, verify_tiles=True) as san:
+            got = list(plan.stream(pure_kernel, operands, plan.tiles(10)))
+        assert got == [pure_kernel(operands, t) for t in plan.tiles(10)]
+        assert san.report.streams_permuted == 1
+        assert san.report.tiles_checksummed == 4
+        assert san.report.tiles_verified == 4
+        assert san.report.divergences == []
+
+    def test_stateful_kernel_raises_detsan_violation(self):
+        plan = ExecutionPlan(tile_size=2)
+        with pytest.raises(DetSanViolation, match="diverged"):
+            with DetSan(seed=7, verify_tiles=True):
+                list(plan.stream(stateful_kernel, [], plan.tiles(8)))
+
+    def test_divergence_is_recorded_in_the_report(self):
+        plan = ExecutionPlan(tile_size=2)
+        san = DetSan(seed=7, verify_tiles=True)
+        with pytest.raises(DetSanViolation):
+            with san:
+                list(plan.stream(stateful_kernel, [], plan.tiles(8)))
+        assert len(san.report.divergences) == 1
+        assert "stateful_kernel" in san.report.divergences[0]
+
+    def test_without_verify_tiles_only_checksums(self):
+        plan = ExecutionPlan(tile_size=2)
+        with DetSan(seed=7, verify_tiles=False) as san:
+            list(plan.stream(stateful_kernel, [], plan.tiles(8)))
+        assert san.report.tiles_checksummed == 4
+        assert san.report.tiles_verified == 0
+
+
+class TestTripwires:
+    def test_wallclock_read_from_repro_code_trips(self):
+        with DetSan(seed=1, forbid_wallclock=True):
+            with pytest.raises(DetSanViolation, match="time.time"):
+                _REPRO_NS["probe_clock"](time)
+            assert isinstance(time.time(), float)  # non-repro caller: fine
+
+    def test_global_rng_from_repro_code_trips(self):
+        with DetSan(seed=1, forbid_global_rng=True):
+            with pytest.raises(DetSanViolation, match="random.random"):
+                _REPRO_NS["probe_rng"](random)
+
+
+class TestSuspendResume:
+    def test_suspend_disables_perturbation(self, tree):
+        with DetSan(seed=5) as san:
+            san.suspend()
+            assert not san.active
+            before = san.report.fs_shuffled
+            _REPRO_NS["probe_listdir"](str(tree))
+            assert san.report.fs_shuffled == before
+            san.resume()
+            assert san.active
+            _REPRO_NS["probe_listdir"](str(tree))
+            assert san.report.fs_shuffled == before + 1
+
+    def test_no_session_report_outside_plugin_runs(self):
+        # plugin_configure was not called by this test; either no session
+        # exists (plain run) or the REPRO_DETSAN session is live.
+        report = session_report()
+        assert report is None or report.streams_permuted >= 0
+
+
+class TestChecksumCanonicalization:
+    def test_digest_invariant_to_pickle_round_trips(self):
+        # Regression: a pool result crosses the process boundary (one
+        # pickle round-trip) while the canonical recompute is fresh;
+        # interned-string sharing then differs and raw dumps bytes
+        # diverge even for equal values.
+        fresh = [{"url": "https://a.example/", "n": i} for i in range(3)]
+        round_tripped = pickle.loads(pickle.dumps(fresh, protocol=4))
+        assert _checksum(fresh) == _checksum(round_tripped)
+        # And the canonical form is a fixed point: more round-trips
+        # cannot move the digest again.
+        twice = pickle.loads(pickle.dumps(round_tripped, protocol=4))
+        assert _checksum(twice) == _checksum(fresh)
+
+    def test_unpicklable_values_checksum_to_none(self):
+        assert _checksum(lambda: 0) is None
+
+
+def test_uninstall_restores_every_patched_callable(tmp_path):
+    originals = (
+        os.listdir,
+        glob.glob,
+        glob.iglob,
+        pathlib.Path.iterdir,
+        pathlib.Path.glob,
+        pathlib.Path.rglob,
+        ExecutionPlan.stream,
+        time.time,
+        random.random,
+    )
+    san = DetSan(
+        seed=3,
+        forbid_wallclock=True,
+        forbid_global_rng=True,
+    )
+    san.install()
+    assert os.listdir is not originals[0]
+    san.uninstall()
+    restored = (
+        os.listdir,
+        glob.glob,
+        glob.iglob,
+        pathlib.Path.iterdir,
+        pathlib.Path.glob,
+        pathlib.Path.rglob,
+        ExecutionPlan.stream,
+        time.time,
+        random.random,
+    )
+    assert restored == originals

@@ -2,19 +2,63 @@
 
 Building the ecosystem + crawl is the expensive part, so integration-level
 fixtures are session-scoped; tests must not mutate them.
+
+Setting ``REPRO_DETSAN=1`` installs the DetSan determinism sanitizer
+(:mod:`repro.analysis.sanitizer`) for the whole session: filesystem
+enumeration is shuffled, ``ExecutionPlan.stream`` tile submission is
+permuted, and per-tile kernel outputs are checksummed against a canonical
+serial recompute — the suite then doubles as a determinism fuzzer. Tests
+that assert scheduling *internals* (e.g. serial-stream laziness) opt out
+with ``@pytest.mark.no_detsan``. ``REPRO_DETSAN_SEED`` varies the
+permutations.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import PushAdMiner, paper_scenario, run_full_crawl
+from repro.analysis import sanitizer
 from repro.crawler.seeds import discover_seeds
 from repro.webenv.generator import generate_ecosystem
 
 
 SMALL_SEED = 8
 SMALL_SCALE = 0.03
+
+_DETSAN_ENABLED = bool(os.environ.get("REPRO_DETSAN"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_detsan: suspend the DetSan determinism sanitizer for this test "
+        "(tests asserting scheduling internals, not outputs)",
+    )
+    if _DETSAN_ENABLED:
+        seed = int(os.environ.get("REPRO_DETSAN_SEED", "213"))
+        sanitizer.plugin_configure(seed=seed)
+
+
+def pytest_unconfigure(config):
+    if _DETSAN_ENABLED:
+        sanitizer.plugin_unconfigure()
+
+
+def pytest_runtest_setup(item):
+    if _DETSAN_ENABLED:
+        sanitizer.plugin_runtest_setup(
+            item.get_closest_marker("no_detsan") is not None
+        )
+
+
+def pytest_runtest_teardown(item, nextitem):
+    if _DETSAN_ENABLED:
+        sanitizer.plugin_runtest_teardown(
+            item.get_closest_marker("no_detsan") is not None
+        )
 
 
 @pytest.fixture(scope="session")
