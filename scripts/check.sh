@@ -170,6 +170,24 @@ else
     echo "no committed BENCH_pipeline.json; skipping"
 fi
 
+# Serve stack: build a snapshot at reduced scale, drive the load generator
+# at 1/2/4 threads and demand one response checksum across all counts
+# (cache on, cold per count). The committed BENCH_serve.json then gates
+# checksum + QPS drift exactly like the pipeline baseline above.
+step "serve smoke (python -m repro.bench --serve --smoke)"
+serve_out="$(mktemp /tmp/bench_serve_smoke.XXXXXX.json)"
+python -m repro.bench --serve --smoke --output "$serve_out" \
+    || failures=$((failures + 1))
+rm -f "$serve_out"
+
+step "serve compare (python -m repro.bench --serve --compare BENCH_serve.json)"
+if [ -f BENCH_serve.json ]; then
+    python -m repro.bench --serve --compare BENCH_serve.json \
+        || failures=$((failures + 1))
+else
+    echo "no committed BENCH_serve.json; skipping"
+fi
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAILED ($failures step(s) failed)"

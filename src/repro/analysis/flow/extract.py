@@ -184,8 +184,9 @@ class _ModuleExtractor:
         """Target module of a ``__getattr__`` re-export shim, if any.
 
         Detects the canonical shim shape: a ``getattr(X, name)`` call where
-        ``X`` is an imported module — e.g. ``return getattr(_urls, name)``
-        in ``repro.webenv.urls``.
+        ``X`` is an imported module — e.g. ``return getattr(_real, name)``
+        in a module-level ``__getattr__``. (No such shim remains under
+        ``src/repro``; synthetic fixtures keep this path covered.)
         """
         for inner in ast.walk(node):
             if not (isinstance(inner, ast.Call) and isinstance(inner.func, ast.Name)):

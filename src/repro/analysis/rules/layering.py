@@ -8,6 +8,7 @@ strictly below it):
     util, obs  <  webenv  <  push  <  browser  <  adblock
     util, obs  <  blocklists  <  core
     perf  <  core
+    util, obs, perf, core  <  serve
     perf, core, browser, push, webenv  <  crawler  <  experiments
 
 ``repro.util`` and ``repro.perf`` import nothing from repro (``perf`` is
@@ -42,6 +43,7 @@ _BELOW_EXPERIMENTS = frozenset(
         "blocklists",
         "perf",
         "core",
+        "serve",
         "crawler",
     }
 )
@@ -58,6 +60,7 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "blocklists": frozenset({"util", "obs"}),
     "perf": frozenset(),
     "core": frozenset({"util", "obs", "blocklists", "perf"}),
+    "serve": frozenset({"util", "obs", "perf", "core"}),
     "crawler": frozenset(
         {"util", "obs", "webenv", "push", "browser", "core", "perf"}
     ),

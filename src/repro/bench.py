@@ -1,4 +1,4 @@
-"""Pipeline benchmark harness: ``python -m repro.bench``.
+"""Pipeline + serving benchmark harness: ``python -m repro.bench``.
 
 Runs the full crawl + PushAdMiner pipeline under a :class:`~repro.obs.PerfClock`
 tracer and writes ``BENCH_pipeline.json``: per-stage wall time, peak matrix
@@ -8,6 +8,13 @@ counters each stage reported.  The same seeded run under the default
 :class:`~repro.obs.NullClock` stays bit-identical; this harness is the one
 place wall-clock readings enter a committed artifact.
 
+``--serve`` benchmarks the serving layer instead: build a
+:class:`~repro.serve.MinedSnapshot` from a fresh run, then drive the
+deterministic :mod:`repro.serve.loadgen` request mix against a
+:class:`~repro.serve.ServeCore` at several thread counts, writing
+``BENCH_serve.json`` (p50/p99 latency, QPS, cache hit rate per thread
+count, plus the response checksum that must be identical across counts).
+
 ``--smoke`` runs a tiny scenario (for ``scripts/check.sh``) just to prove the
 harness end-to-end; the default scale matches ``benchmarks/``.
 
@@ -16,7 +23,11 @@ scenario (under its recorded perf configuration, crawl workers included) and
 fail when any crawl or pipeline stage regresses more than ``--tolerance``
 (default 25%) in wall time, or when the deterministic summary drifts at all.
 Stages whose baseline wall time is under ``--min-wall`` seconds are skipped —
-their timings are noise-dominated.
+their timings are noise-dominated.  With ``--serve``, the gate re-runs the
+baseline's serve scenario and fails on *any* drift in snapshot content hash
+or response checksum (determinism regressions), and on QPS drops beyond the
+serve tolerance (default 50% — thread-scheduling noise is larger than stage
+wall noise).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from repro.core.pipeline import MinerConfig, PushAdMiner
 from repro.crawler.engine import DEFAULT_SHARD_SIZE
 from repro.crawler.harvest import run_full_crawl
 from repro.obs import PerfClock, Span, Tracer
+from repro.serve import MinedSnapshot, ServeCore, generate_requests, run_load
 from repro.webenv.scenario import paper_scenario
 
 BENCH_SCHEMA = "repro-bench/1"
@@ -39,6 +51,13 @@ SMOKE_SCALE = 0.02
 DEFAULT_BASELINE = "BENCH_pipeline.json"
 DEFAULT_TOLERANCE = 0.25
 DEFAULT_MIN_WALL = 0.05
+
+SERVE_SCHEMA = "repro-bench-serve/1"
+DEFAULT_SERVE_BASELINE = "BENCH_serve.json"
+DEFAULT_SERVE_TOLERANCE = 0.50
+DEFAULT_SERVE_REQUESTS = 240
+SMOKE_SERVE_REQUESTS = 60
+SERVE_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
 
 
 def _stage_rows(parent: Span) -> List[Dict[str, Any]]:
@@ -123,6 +142,115 @@ def run_benchmark(
         "peak_matrix_bytes": _peak_matrix_bytes(tracer),
         "summary": result.summary(),
     }
+
+
+def run_serve_benchmark(
+    seed: int,
+    scale: float,
+    *,
+    n_requests: int = DEFAULT_SERVE_REQUESTS,
+    worker_counts: Tuple[int, ...] = SERVE_WORKER_COUNTS,
+) -> Dict[str, Any]:
+    """Snapshot build + load-generation sweep; returns the report payload.
+
+    Each thread count gets a *fresh* :class:`ServeCore` (cold cache), so
+    hit rates compare like for like.  The response checksum must come out
+    identical at every count — a mismatch is a determinism regression and
+    is reported as ``response_checksums`` with more than one distinct
+    value (the compare gate and check.sh fail on it).
+    """
+    config = paper_scenario(seed=seed, scale=scale)
+    dataset = run_full_crawl(config=config)
+    result = PushAdMiner.for_dataset(dataset).run(dataset.valid_records)
+    snapshot = MinedSnapshot.from_result(result)
+    requests = generate_requests(snapshot, n_requests, seed)
+
+    rows: List[Dict[str, Any]] = []
+    for workers in worker_counts:
+        core = ServeCore(snapshot)
+        outcome = run_load(core, requests, workers=workers, clock=PerfClock())
+        rows.append(outcome.row())
+
+    checksums = sorted({row["response_checksum"] for row in rows})
+    return {
+        "schema": SERVE_SCHEMA,
+        "scenario": {
+            "seed": seed,
+            "scale": scale,
+            "n_requests": n_requests,
+        },
+        "snapshot": {
+            "content_hash": snapshot.hash,
+            "records": snapshot.n_records,
+            "clusters": len(snapshot.campaigns),
+            "known_urls": len(snapshot.urls),
+        },
+        "workers": rows,
+        "response_checksums": checksums,
+    }
+
+
+def compare_serve_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_SERVE_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, report_lines)`` for a serve run against its baseline.
+
+    Hard failures (no tolerance): the snapshot content hash or the response
+    checksum differ — same seed/scale must reproduce the same bytes.  Soft
+    failures: a thread count's QPS fell more than ``tolerance`` below the
+    baseline's.  Latency percentiles are reported but not gated (nearest-
+    rank percentiles of a small run are noise-dominated).
+    """
+    failures: List[str] = []
+    lines: List[str] = []
+
+    if fresh["snapshot"]["content_hash"] != baseline["snapshot"]["content_hash"]:
+        failures.append(
+            "snapshot content hash drifted (determinism regression): "
+            f"{fresh['snapshot']['content_hash']} vs baseline "
+            f"{baseline['snapshot']['content_hash']}"
+        )
+    if len(fresh.get("response_checksums", [])) != 1:
+        failures.append(
+            "response checksum differs across thread counts: "
+            + ", ".join(fresh.get("response_checksums", []))
+        )
+    elif fresh["response_checksums"] != baseline.get("response_checksums"):
+        failures.append(
+            "response checksum drifted from baseline (determinism "
+            f"regression): {fresh['response_checksums'][0]} vs "
+            f"{baseline.get('response_checksums', ['<missing>'])[0]}"
+        )
+
+    base_rows = {row["workers"]: row for row in baseline.get("workers", [])}
+    for row in fresh["workers"]:
+        workers, qps = row["workers"], float(row["qps"])
+        base = base_rows.get(workers)
+        if base is None:
+            lines.append(f"workers={workers}: qps {qps:9.1f}  (no baseline)")
+            continue
+        base_qps = float(base["qps"])
+        note = (
+            f"workers={workers}: qps {qps:9.1f}  baseline {base_qps:9.1f}  "
+            f"p50 {row['p50_ms']:.3f}ms  p99 {row['p99_ms']:.3f}ms  "
+            f"hit rate {row['cache_hit_rate']:.2f}"
+        )
+        if base_qps > 0 and qps < base_qps * (1.0 - tolerance):
+            lines.append(note + "  REGRESSION")
+            failures.append(
+                f"workers={workers}: qps {qps:.1f} vs baseline "
+                f"{base_qps:.1f} (>{tolerance:.0%} drop)"
+            )
+        else:
+            lines.append(note)
+    missing = sorted(set(base_rows) - {r["workers"] for r in fresh["workers"]})
+    for workers in missing:
+        failures.append(
+            f"workers={workers}: present in baseline but missing from run"
+        )
+    return failures, lines
 
 
 #: Report sections whose per-stage wall times the compare gate covers.
@@ -222,7 +350,9 @@ def compare_reports(
     return failures, lines
 
 
-def _load_baseline(path: str) -> Optional[Dict[str, Any]]:
+def _load_baseline(
+    path: str, required_key: str = "pipeline"
+) -> Optional[Dict[str, Any]]:
     if not os.path.exists(path):
         return None
     try:
@@ -231,9 +361,37 @@ def _load_baseline(path: str) -> Optional[Dict[str, Any]]:
     except (OSError, json.JSONDecodeError):
         # e.g. a fresh mktemp output target: no baseline to annotate from.
         return None
-    if not isinstance(payload, dict) or "pipeline" not in payload:
+    if not isinstance(payload, dict) or required_key not in payload:
         return None
     return payload
+
+
+def _run_serve_compare(args: argparse.Namespace, tolerance: float) -> int:
+    baseline = _load_baseline(args.compare, required_key="workers")
+    if baseline is None:
+        print(f"no usable serve baseline at {args.compare}; nothing to compare")
+        return 1
+    scenario = baseline.get("scenario", {})
+    seed = int(scenario.get("seed", args.seed))
+    scale = float(scenario.get("scale", DEFAULT_SCALE))
+    n_requests = int(scenario.get("n_requests", DEFAULT_SERVE_REQUESTS))
+    payload = run_serve_benchmark(
+        seed=seed, scale=scale, n_requests=n_requests
+    )
+    failures, lines = compare_serve_reports(
+        payload, baseline, tolerance=tolerance
+    )
+    print(f"serve bench compare vs {args.compare} "
+          f"(seed {seed}, scale {scale}, {n_requests} requests):")
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print(f"\nserve bench compare: FAILED ({len(failures)} issue(s))")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nserve bench compare: ok")
+    return 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
@@ -272,18 +430,55 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    scale = args.scale
+    if scale is None:
+        scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+    n_requests = args.requests
+    if n_requests is None:
+        n_requests = (
+            SMOKE_SERVE_REQUESTS if args.smoke else DEFAULT_SERVE_REQUESTS
+        )
+    output = args.output if args.output is not None else DEFAULT_SERVE_BASELINE
+
+    payload = run_serve_benchmark(
+        seed=args.seed, scale=scale, n_requests=n_requests
+    )
+    if len(payload["response_checksums"]) != 1:
+        print("serve bench: FAILED — response checksum differs across "
+              "thread counts: " + ", ".join(payload["response_checksums"]))
+        return 1
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    best = max(payload["workers"], key=lambda row: row["qps"])
+    print(f"wrote {output} (snapshot {payload['snapshot']['content_hash']}, "
+          f"{payload['snapshot']['records']} records, {n_requests} requests; "
+          f"best {best['qps']:.0f} qps at {best['workers']} worker(s), "
+          f"p50 {best['p50_ms']:.3f}ms, p99 {best['p99_ms']:.3f}ms)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro.bench", description="pipeline benchmark harness"
+        prog="repro.bench", description="pipeline + serving benchmark harness"
     )
     parser.add_argument("--seed", type=int, default=7, help="master seed")
     parser.add_argument("--scale", type=float, default=None,
                         help=f"URL population fraction (default {DEFAULT_SCALE})")
-    parser.add_argument("--output", default="BENCH_pipeline.json",
-                        help="report path (default BENCH_pipeline.json)")
+    parser.add_argument("--output", default=None,
+                        help="report path (default BENCH_pipeline.json, or "
+                             "BENCH_serve.json with --serve)")
     parser.add_argument("--smoke", action="store_true",
                         help=f"tiny run (scale {SMOKE_SCALE}) to exercise "
                              "the harness in CI")
+    parser.add_argument("--serve", action="store_true",
+                        help="benchmark the serving layer (snapshot build + "
+                             "load generation) instead of the pipeline")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="load-generator request count with --serve "
+                             f"(default {DEFAULT_SERVE_REQUESTS}, "
+                             f"{SMOKE_SERVE_REQUESTS} with --smoke)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the distance kernels")
     parser.add_argument("--crawl-workers", type=int, default=1,
@@ -302,14 +497,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="re-run the committed baseline's scenario and "
                              "fail on stage wall-time regressions or summary "
                              "drift (no report is written)")
-    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
-                        help="fractional wall-time regression allowed per "
-                             f"stage (default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="fractional regression allowed: per-stage wall "
+                             f"time (default {DEFAULT_TOLERANCE}) or, with "
+                             f"--serve, QPS drop (default "
+                             f"{DEFAULT_SERVE_TOLERANCE})")
     parser.add_argument("--min-wall", type=float, default=DEFAULT_MIN_WALL,
                         help="skip gating stages whose baseline wall time is "
                              f"below this many seconds (default "
                              f"{DEFAULT_MIN_WALL})")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        if args.compare is not None:
+            tolerance = (
+                args.tolerance
+                if args.tolerance is not None
+                else DEFAULT_SERVE_TOLERANCE
+            )
+            return _run_serve_compare(args, tolerance)
+        return _run_serve(args)
+    if args.tolerance is None:
+        args.tolerance = DEFAULT_TOLERANCE
 
     if args.compare is not None:
         return _run_compare(args)
@@ -318,6 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if scale is None:
         scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
 
+    if args.output is None:
+        args.output = DEFAULT_BASELINE
     baseline = _load_baseline(args.output)
     payload = run_benchmark(
         seed=args.seed,

@@ -5,6 +5,8 @@ Commands
 crawl        generate a world and run the full crawl; write records (JSONL)
 analyze      run the PushAdMiner pipeline over a records file (or a fresh
              crawl) and print Tables 3/4 + Figure 6
+snapshot     run the pipeline and export a repro-snapshot/1 artifact for
+             the serving layer (query it with ``python -m repro.serve``)
 experiments  run the side experiments (pilot, blocklist lag, revisit,
              double permission, quiet UI)
 detect       train + evaluate the malicious-WPN detector
@@ -167,6 +169,31 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_snapshot(args) -> int:
+    from repro.serve import MinedSnapshot
+
+    tracer = _make_tracer(args)
+    if args.records:
+        corpus = load_records(args.records)
+        miner = PushAdMiner(
+            config=MinerConfig(seed=args.seed, workers=args.workers),
+            tracer=tracer,
+        )
+        result = miner.run([r for r in corpus if r.valid])
+    else:
+        dataset = _crawl_dataset(args, tracer)
+        result = PushAdMiner.for_dataset(
+            dataset, tracer=tracer, workers=args.workers
+        ).run(dataset.valid_records)
+
+    snapshot = MinedSnapshot.from_result(result)
+    content_hash = snapshot.save(args.output)
+    print(f"wrote {args.output} ({snapshot.n_records} records, "
+          f"{len(snapshot.campaigns)} clusters, hash {content_hash})")
+    _emit_trace(tracer, args)
+    return 0
+
+
 class _FileBackedDataset:
     """Minimal dataset facade for analyze --records runs."""
 
@@ -278,6 +305,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--markdown",
                          help="write a Markdown summary to this file")
     analyze.set_defaults(func=cmd_analyze)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="export a repro-snapshot/1 serving artifact"
+    )
+    _add_scenario_args(snapshot)
+    snapshot.add_argument("--records",
+                          help="mine a saved JSONL instead of crawling")
+    snapshot.add_argument("--output", default="snapshot.json",
+                          help="snapshot path (default snapshot.json)")
+    snapshot.set_defaults(func=cmd_snapshot)
 
     experiments = commands.add_parser("experiments", help="run side experiments")
     _add_scenario_args(experiments)

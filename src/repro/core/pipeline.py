@@ -20,7 +20,6 @@ and the headline numbers of Table 3.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -77,7 +76,14 @@ class StageRow:
 
 @dataclass
 class PipelineResult:
-    """Every artifact of one full pipeline run."""
+    """Every artifact of one full pipeline run.
+
+    ``config`` and ``text_model`` are the snapshot export hooks: a
+    completed run carries the exact :class:`MinerConfig` it executed under
+    and the *fitted* :class:`~repro.core.textsim.SoftCosineModel`, so
+    ``repro.serve.MinedSnapshot.from_result`` can freeze everything a
+    query endpoint needs without re-running any stage.
+    """
 
     records: List[WpnRecord]
     distances: DistanceMatrices
@@ -91,6 +97,8 @@ class PipelineResult:
     metas: List[MetaCluster]
     suspicion: SuspicionResult
     oracle: ManualVerificationOracle
+    config: MinerConfig = field(default_factory=lambda: MinerConfig())
+    text_model: Optional[SoftCosineModel] = None
 
     # ------------------------------------------------------------------
     # Ad / malicious bookkeeping
@@ -294,26 +302,12 @@ class MinerConfig:
         return dataclasses.replace(self, **changes)
 
 
-# Old loose-kwarg names accepted (with a DeprecationWarning) for one release.
-_LEGACY_MINER_KWARGS: Tuple[str, ...] = (
-    "seed",
-    "vt_early_rate",
-    "vt_late_rate",
-    "gsb_rate",
-    "vt_fp_rate",
-    "unconfirmable_rate",
-    "cut_threshold",
-    "months_elapsed",
-)
-
-
 class PushAdMiner:
     """Driver for the full analysis over a record corpus.
 
     :meth:`run` executes everything; each ``stage_*`` method is also
     individually callable for partial pipelines, and opens one tracer span
-    per call.  Construct with a :class:`MinerConfig` (the old flat keyword
-    bag still works but warns)::
+    per call.  Construct with a :class:`MinerConfig`::
 
         miner = PushAdMiner(config=MinerConfig(seed=7), tracer=tracer)
         result = miner.run(dataset.valid_records)
@@ -325,41 +319,13 @@ class PushAdMiner:
         *,
         text_model: Optional[SoftCosineModel] = None,
         tracer: Optional[Tracer] = None,
-        **legacy: Any,
     ):
-        warned = False
         if config is not None and not isinstance(config, MinerConfig):
-            # Old signature: PushAdMiner(seed) with a positional int seed.
-            warnings.warn(
-                "passing a positional seed to PushAdMiner() is deprecated; "
-                "use PushAdMiner(config=MinerConfig(seed=...))",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "PushAdMiner() takes config=MinerConfig(...); the "
+                f"pre-MinerConfig constructor forms were removed "
+                f"(got {type(config).__name__!r})"
             )
-            legacy.setdefault("seed", config)
-            config = None
-            warned = True
-        if legacy:
-            unknown = sorted(set(legacy) - set(_LEGACY_MINER_KWARGS))
-            if unknown:
-                raise TypeError(
-                    f"PushAdMiner() got unexpected keyword argument(s): "
-                    f"{', '.join(unknown)}"
-                )
-            if config is not None:
-                raise TypeError(
-                    "pass either config=MinerConfig(...) or legacy keyword "
-                    "arguments, not both"
-                )
-            if not warned:
-                warnings.warn(
-                    f"PushAdMiner({', '.join(sorted(legacy))}) keyword "
-                    "arguments are deprecated; pass config=MinerConfig(...) "
-                    "instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            config = MinerConfig(**legacy)
         self.config: MinerConfig = config if config is not None else MinerConfig()
         self.text_model = text_model
         self.tracer: Tracer = tracer if tracer is not None else Tracer()
@@ -630,4 +596,6 @@ class PushAdMiner:
                 metas=metas,
                 suspicion=suspicion,
                 oracle=oracle,
+                config=self.config,
+                text_model=model,
             )

@@ -10,12 +10,57 @@ deterministic for a given corpus order).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 
 from repro.perf import Tile, jaccard_distance_tile
+
+
+def url_token_vocabulary(
+    token_sets: Sequence[Iterable[str]],
+) -> Dict[str, int]:
+    """Token -> column index, in first-seen iteration order.
+
+    Column order follows each set's iteration order, which for
+    ``frozenset`` inputs is hash-dependent — harmless here, because the
+    Jaccard numbers are invariant to any column permutation (memberships
+    are exact 0/1 and their sums associate exactly). Callers that need a
+    cross-process-stable vocabulary (the serving layer's snapshots) pass
+    *sorted* token sequences instead.
+    """
+    vocabulary: Dict[str, int] = {}
+    for tokens in token_sets:
+        for token in tokens:
+            if token not in vocabulary:
+                vocabulary[token] = len(vocabulary)
+    return vocabulary
+
+
+def url_membership_matrix(
+    token_sets: Sequence[Iterable[str]], vocabulary: Dict[str, int]
+) -> sparse.csr_matrix:
+    """(n, len(vocabulary)) 0/1 membership matrix over a fixed vocabulary.
+
+    Tokens absent from ``vocabulary`` are dropped — the serving layer uses
+    this to project *query* token sets onto a snapshot's corpus vocabulary
+    (out-of-vocabulary tokens cannot intersect any corpus set). Each
+    element of ``token_sets`` must hold distinct tokens (sets, or
+    deduplicated sequences).
+    """
+    rows: List[int] = []
+    cols: List[int] = []
+    for i, tokens in enumerate(token_sets):
+        for token in tokens:
+            idx = vocabulary.get(token)
+            if idx is not None:
+                rows.append(i)
+                cols.append(idx)
+    return sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)),
+        shape=(len(token_sets), len(vocabulary)),
+    )
 
 
 def url_membership_operands(
@@ -26,22 +71,8 @@ def url_membership_operands(
     ``member`` is the (n, vocabulary) 0/1 membership matrix, ``sizes`` the
     per-set cardinalities, ``empty`` a bool mask of empty sets.
     """
-    n = len(token_sets)
-    vocabulary: Dict[str, int] = {}
-    for tokens in token_sets:
-        for token in tokens:
-            if token not in vocabulary:
-                vocabulary[token] = len(vocabulary)
-
-    rows: List[int] = []
-    cols: List[int] = []
-    for i, tokens in enumerate(token_sets):
-        for token in tokens:
-            rows.append(i)
-            cols.append(vocabulary[token])
-    member = sparse.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(n, len(vocabulary))
-    )
+    vocabulary = url_token_vocabulary(token_sets)
+    member = url_membership_matrix(token_sets, vocabulary)
     sizes = np.asarray(member.sum(axis=1)).ravel()
     return member, sizes, sizes == 0
 

@@ -24,8 +24,12 @@ from repro.perf.condensed import (
 )
 from repro.perf.kernels import (
     PairwiseOperands,
+    QueryOperands,
     combined_distance_tile,
     jaccard_distance_tile,
+    query_distance_tile,
+    query_jaccard_distance_tile,
+    query_text_distance_tile,
     soft_cosine_similarity_tile,
     text_distance_tile,
 )
@@ -35,11 +39,15 @@ __all__ = [
     "DEFAULT_TILE_SIZE",
     "ExecutionPlan",
     "PairwiseOperands",
+    "QueryOperands",
     "Tile",
     "combined_distance_tile",
     "condensed_size",
     "condensed_to_square",
     "jaccard_distance_tile",
+    "query_distance_tile",
+    "query_jaccard_distance_tile",
+    "query_text_distance_tile",
     "row_tiles",
     "soft_cosine_similarity_tile",
     "square_to_condensed",

@@ -136,6 +136,114 @@ def jaccard_distance_tile(
     return dist
 
 
+@dataclass(frozen=True)
+class QueryOperands:
+    """Inputs of the query-vs-corpus combined-distance kernel.
+
+    The corpus side is exactly :class:`PairwiseOperands` (minus ``blend``,
+    which rides along here); the query side mirrors it for ``q`` query
+    documents. ``q_url_sizes`` are the *true* query token-set sizes —
+    including tokens outside the corpus URL vocabulary, which can never
+    intersect a corpus set but still belong in the Jaccard union.
+    """
+
+    corpus: PairwiseOperands
+    q_bow_normed: sparse.csr_matrix  # (q, V) L2-normalized bag-of-words
+    q_doc_emb: np.ndarray            # (q, d) row-normalized doc embeddings
+    q_zero_rows: np.ndarray          # (q,) bool: queries with zero embedding
+    q_url_member: sparse.csr_matrix  # (q, U) membership over corpus vocab
+    q_url_sizes: np.ndarray          # (q,) true token-set sizes (incl. OOV)
+    q_url_empty: np.ndarray          # (q,) bool: empty query token sets
+
+    @property
+    def n_queries(self) -> int:
+        return self.q_doc_emb.shape[0]
+
+
+def query_text_distance_tile(
+    operands: QueryOperands, tile: Tile
+) -> np.ndarray:
+    """``(q, tile.size)`` blended text distance, queries vs corpus rows.
+
+    Same blend/fallback semantics as :func:`text_distance_tile`, but with
+    no diagonal special case: a query is never assumed to *be* a corpus
+    document. Tiling runs over corpus rows, so the result is tile-size
+    invariant by the same argument as the pairwise kernels.
+    """
+    corpus = operands.corpus
+    rows = slice(tile.start, tile.stop)
+    cos_exact = np.asarray(
+        (operands.q_bow_normed @ corpus.bow_normed[rows].T).toarray()
+    )
+    cos_soft = np.einsum(
+        "ik,jk->ij", operands.q_doc_emb, corpus.doc_emb[rows]
+    )
+
+    zero_cols = np.flatnonzero(corpus.zero_rows[rows])
+    if zero_cols.size:
+        cos_soft[:, zero_cols] = cos_exact[:, zero_cols]
+    zero_qs = np.flatnonzero(operands.q_zero_rows)
+    if zero_qs.size:
+        cos_soft[zero_qs, :] = cos_exact[zero_qs, :]
+
+    sim = corpus.blend * cos_exact + (1.0 - corpus.blend) * cos_soft
+    np.clip(sim, 0.0, 1.0, out=sim)
+    dist = 1.0 - sim
+    np.clip(dist, 0.0, 1.0, out=dist)
+    return dist
+
+
+def query_jaccard_distance_tile(
+    operands: QueryOperands, tile: Tile
+) -> np.ndarray:
+    """``(q, tile.size)`` URL-token Jaccard distance, queries vs corpus rows.
+
+    Query tokens outside the corpus vocabulary contribute to the union via
+    ``q_url_sizes`` but can never intersect, so the distance equals the
+    exact set Jaccard. Empty-set conventions match
+    :func:`jaccard_distance_tile`: both empty -> 0, one empty -> 1.
+    """
+    corpus = operands.corpus
+    rows = slice(tile.start, tile.stop)
+    n_rows = tile.size
+    q = operands.n_queries
+    if corpus.url_member.shape[1] == 0:
+        intersection = np.zeros((q, n_rows))
+    else:
+        intersection = np.asarray(
+            (operands.q_url_member @ corpus.url_member[rows].T).toarray()
+        )
+    union = (
+        operands.q_url_sizes[:, None]
+        + corpus.url_sizes[rows][None, :]
+        - intersection
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dist = 1.0 - np.where(
+            union > 0, intersection / np.maximum(union, 1e-12), 1.0
+        )
+    empty_cols = np.flatnonzero(corpus.url_empty[rows])
+    empty_qs = np.flatnonzero(operands.q_url_empty)
+    if empty_cols.size and empty_qs.size:
+        dist[np.ix_(empty_qs, empty_cols)] = 0.0
+    np.clip(dist, 0.0, 1.0, out=dist)
+    return dist
+
+
+def query_distance_tile(operands: QueryOperands, tile: Tile) -> np.ndarray:
+    """``(q, tile.size)`` combined distance, queries vs one corpus tile.
+
+    The combined distance is the unweighted mean of the text and URL
+    distances, exactly as :func:`combined_distance_tile`'s caller builds
+    ``total``. Pure and module-level, so an
+    :class:`~repro.perf.plan.ExecutionPlan` may ship it across process
+    boundaries.
+    """
+    text = query_text_distance_tile(operands, tile)
+    url = query_jaccard_distance_tile(operands, tile)
+    return (text + url) / 2.0
+
+
 def combined_distance_tile(
     operands: PairwiseOperands, tile: Tile
 ) -> Tuple[np.ndarray, np.ndarray]:

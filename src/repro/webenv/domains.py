@@ -2,49 +2,18 @@
 
 The eTLD+1 primitives and TLD pools live in :mod:`repro.util.domains` (the
 bottom layer of the package DAG, shared with the analysis pipeline); this
-module adds the generator-side :class:`DomainFactory`.  The old
-``repro.webenv.domains`` re-exports of the util names remain available
-through a module-level ``__getattr__`` shim that warns once per attribute
-— import them from ``repro.util.domains`` instead.
+module adds the generator-side :class:`DomainFactory`.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
-from typing import Any, List, Set
+from typing import Set
 
-from repro.util import domains as _domains
 from repro.util.domains import BENIGN_TLDS as _BENIGN_TLDS
 from repro.util.domains import SHADY_TLDS as _SHADY_TLDS
 
-_MOVED = (
-    "BENIGN_TLDS",
-    "MULTI_LABEL_SUFFIXES",
-    "SHADY_TLDS",
-    "effective_second_level_domain",
-)
-_warned: Set[str] = set()
-
 __all__ = ["DomainFactory"]
-
-
-def __getattr__(name: str) -> Any:
-    if name in _MOVED:
-        if name not in _warned:
-            _warned.add(name)
-            warnings.warn(
-                f"repro.webenv.domains.{name} is deprecated; import it from "
-                "repro.util.domains",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return getattr(_domains, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__() -> List[str]:
-    return sorted(set(globals()) | set(_MOVED))
 
 _ADJECTIVES = [
     "daily", "global", "prime", "smart", "super", "mega", "best", "fast",

@@ -1,8 +1,9 @@
 """ProjectIndex: symbol resolution and call-graph edge cases.
 
-Half of these run against the real ``src/repro`` tree — the re-export
-shims in ``repro.webenv`` and the ExecutionPlan ship in
-``repro.core.distance`` are exactly the structures the ISSUE calls out.
+Half of these run against the real ``src/repro`` tree — the ExecutionPlan
+ship in ``repro.core.distance`` is exactly the structure the ISSUE calls
+out; ``__getattr__``-shim following stays covered by the ``shimpkg``
+fixture (the real tree retired its last re-export shim in PR 7).
 """
 
 from pathlib import Path
@@ -23,13 +24,13 @@ def src_index() -> ProjectIndex:
 
 
 class TestRealTreeResolution:
-    def test_getattr_shim_resolves_moved_symbol(self, src_index):
-        # repro.webenv.urls keeps a __getattr__ shim forwarding moved
-        # names to repro.util.urls; the index must follow it.
-        symbol = src_index.resolve_symbol("repro.webenv.urls.Url")
+    def test_retired_shim_module_no_longer_resolves(self, src_index):
+        # The repro.webenv.urls re-export shim was removed in PR 7; the
+        # moved name resolves only at its real home now.
+        assert src_index.resolve_symbol("repro.webenv.urls.Url") is None
+        symbol = src_index.resolve_symbol("repro.util.urls.Url")
         assert symbol is not None
         assert symbol.module == "repro.util.urls"
-        assert symbol.qualname == "Url"
 
     def test_package_reexport_resolves(self, src_index):
         symbol = src_index.resolve_symbol("repro.perf.combined_distance_tile")

@@ -80,25 +80,18 @@ class TestMinerConstruction:
         tracer = Tracer()
         assert PushAdMiner(tracer=tracer).tracer is tracer
 
-    def test_legacy_kwargs_warn_and_flow_through(self):
-        with pytest.warns(DeprecationWarning, match="MinerConfig"):
-            miner = PushAdMiner(seed=3, cut_threshold=0.15)
-        assert miner.seed == 3
-        assert miner.cut_threshold == 0.15
-        assert miner.config == MinerConfig(seed=3, cut_threshold=0.15)
+    def test_loose_kwargs_are_a_hard_type_error(self):
+        """The PR-2 loose-kwarg shim is gone: no warning, just TypeError."""
+        with pytest.raises(TypeError):
+            PushAdMiner(seed=3, cut_threshold=0.15)
 
-    def test_legacy_positional_seed_warns(self):
-        with pytest.warns(DeprecationWarning, match="positional seed"):
-            miner = PushAdMiner(11)
-        assert miner.seed == 11
+    def test_positional_seed_is_a_hard_type_error(self):
+        with pytest.raises(TypeError, match="MinerConfig"):
+            PushAdMiner(11)
 
     def test_unknown_kwarg_is_type_error(self):
-        with pytest.raises(TypeError, match="bogus"):
+        with pytest.raises(TypeError):
             PushAdMiner(bogus=1)
-
-    def test_config_plus_legacy_is_type_error(self):
-        with pytest.raises(TypeError, match="not both"):
-            PushAdMiner(config=MinerConfig(), seed=2)
 
 
 class TestForDataset:

@@ -1,0 +1,74 @@
+"""Serve-suite fixtures: one snapshot + core built from the shared run.
+
+The snapshot is exported once per session from the root ``small_result``
+fixture (seed 8, scale 0.03), saved to disk once, and reused — exporting
+is cheap, but the underlying crawl + mine is not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import MinedSnapshot, ServeCore
+
+
+@pytest.fixture(scope="session")
+def snapshot(small_result):
+    return MinedSnapshot.from_result(small_result)
+
+
+@pytest.fixture(scope="session")
+def snapshot_path(snapshot, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "snapshot.json"
+    snapshot.save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def core(snapshot):
+    return ServeCore(snapshot)
+
+
+@pytest.fixture(scope="session")
+def known_url(snapshot):
+    return sorted(snapshot.urls)[0]
+
+
+@pytest.fixture(scope="session")
+def fixed_queries(snapshot):
+    """A small, deterministic query set exercising every method."""
+    urls = sorted(snapshot.urls)
+    records = snapshot.records
+    cluster_ids = sorted(
+        int(entry["cluster_id"]) for entry in snapshot.campaigns.values()
+    )
+    wpns = [
+        {
+            "title": " ".join(row["text_tokens"][:6]),
+            "body": " ".join(row["text_tokens"][6:]),
+            "landing_url": row["landing_url"],
+        }
+        for row in records[:5]
+    ]
+    wpns.append(
+        {
+            "title": "totally novel zebra keyboard",
+            "body": "unseen text far from every campaign",
+            "landing_url": "https://never-crawled.example/x/y?z=1",
+        }
+    )
+    return {
+        "check": urls[:5] + ["https://never-crawled.example/landing/1"],
+        "classify": wpns,
+        "campaign": cluster_ids[:3],
+    }
+
+
+def answer_fixed_queries(core, queries):
+    """Every response for the fixed query set, in a deterministic order."""
+    responses = []
+    responses.extend(core.check_batch(queries["check"]))
+    responses.extend(core.classify_batch(queries["classify"]))
+    responses.extend(core.campaign(cid) for cid in queries["campaign"])
+    responses.append(core.stats())
+    return responses

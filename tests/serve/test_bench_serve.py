@@ -1,0 +1,96 @@
+"""repro.bench --serve: the compare gate's failure modes (unit-level).
+
+The full sweep (crawl + mine + load-gen at several thread counts) runs in
+check.sh; here the gate logic itself is pinned against synthetic reports.
+"""
+
+from repro.bench import (
+    DEFAULT_SERVE_TOLERANCE,
+    SERVE_SCHEMA,
+    compare_serve_reports,
+)
+
+
+def _report(qps=(1000.0, 1500.0, 1800.0), checksum="aa" * 16, snap="bb" * 16):
+    return {
+        "schema": SERVE_SCHEMA,
+        "scenario": {"seed": 7, "scale": 0.125, "n_requests": 240},
+        "snapshot": {
+            "content_hash": snap, "records": 100, "clusters": 40,
+            "known_urls": 90,
+        },
+        "workers": [
+            {
+                "workers": workers, "n_requests": 240, "wall_s": 0.1,
+                "qps": value, "p50_ms": 0.1, "p99_ms": 1.0,
+                "cache_hits": 50, "cache_misses": 190,
+                "cache_hit_rate": 50 / 240, "response_checksum": checksum,
+            }
+            for workers, value in zip((1, 2, 4), qps)
+        ],
+        "response_checksums": [checksum],
+    }
+
+
+def test_identical_reports_pass():
+    failures, lines = compare_serve_reports(_report(), _report())
+    assert failures == []
+    assert len(lines) == 3
+
+
+def test_qps_within_tolerance_passes():
+    fresh = _report(qps=(600.0, 900.0, 1000.0))  # 40-45% down: inside 50%
+    failures, _ = compare_serve_reports(
+        fresh, _report(), tolerance=DEFAULT_SERVE_TOLERANCE
+    )
+    assert failures == []
+
+
+def test_qps_regression_fails():
+    fresh = _report(qps=(100.0, 1500.0, 1800.0))  # workers=1 dropped 90%
+    failures, lines = compare_serve_reports(fresh, _report())
+    assert len(failures) == 1
+    assert "workers=1" in failures[0] and "drop" in failures[0]
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_snapshot_hash_drift_is_a_hard_failure():
+    failures, _ = compare_serve_reports(_report(snap="cc" * 16), _report())
+    assert any("snapshot content hash drifted" in f for f in failures)
+
+
+def test_checksum_drift_from_baseline_is_a_hard_failure():
+    failures, _ = compare_serve_reports(_report(checksum="dd" * 16), _report())
+    assert any("drifted from baseline" in f for f in failures)
+
+
+def test_multiple_checksums_in_one_run_fail():
+    fresh = _report()
+    fresh["workers"][2]["response_checksum"] = "ee" * 16
+    fresh["response_checksums"] = sorted(
+        {row["response_checksum"] for row in fresh["workers"]}
+    )
+    failures, _ = compare_serve_reports(fresh, _report())
+    assert any("across thread counts" in f for f in failures)
+
+
+def test_missing_worker_row_fails():
+    fresh = _report()
+    fresh["workers"] = fresh["workers"][:2]  # drop workers=4
+    failures, _ = compare_serve_reports(fresh, _report())
+    assert any("workers=4" in f and "missing" in f for f in failures)
+
+
+def test_new_worker_count_is_reported_not_failed():
+    baseline = _report()
+    baseline["workers"] = baseline["workers"][:2]
+    failures, lines = compare_serve_reports(_report(), baseline)
+    assert failures == []
+    assert any("no baseline" in line for line in lines)
+
+
+def test_tolerance_is_respected():
+    fresh = _report(qps=(800.0, 1500.0, 1800.0))  # 20% drop at workers=1
+    strict, _ = compare_serve_reports(fresh, _report(), tolerance=0.10)
+    loose, _ = compare_serve_reports(fresh, _report(), tolerance=0.30)
+    assert strict and not loose

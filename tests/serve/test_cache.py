@@ -1,0 +1,62 @@
+"""ResponseCache: LRU order, counters, key derivation."""
+
+import pytest
+
+from repro.serve import ResponseCache, response_cache_key
+
+
+class TestResponseCacheKey:
+    def test_method_and_query_both_matter(self):
+        query = '{"url":"https://a.example/"}'
+        assert response_cache_key("check", query) != response_cache_key(
+            "classify", query
+        )
+        assert response_cache_key("check", query) != response_cache_key(
+            "check", query + " "
+        )
+
+    def test_key_is_stable(self):
+        assert response_cache_key("check", "{}") == response_cache_key(
+            "check", "{}"
+        )
+
+
+class TestResponseCache:
+    def test_miss_then_hit(self):
+        cache = ResponseCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.info() == {"hits": 1, "misses": 1, "size": 1, "maxsize": 4}
+
+    def test_lru_eviction_order(self):
+        cache = ResponseCache(maxsize=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"  # refreshes a; b is now LRU
+        cache.put("c", "3")
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResponseCache(maxsize=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        cache.put("a", "1!")  # refresh, not insert: a becomes MRU
+        cache.put("c", "3")
+        assert cache.get("a") == "1!"
+        assert cache.get("b") is None
+
+    def test_clear_resets_counters(self):
+        cache = ResponseCache(maxsize=2)
+        cache.put("a", "1")
+        cache.get("a")
+        cache.get("zz")
+        cache.clear()
+        assert cache.info() == {"hits": 0, "misses": 0, "size": 0, "maxsize": 2}
+
+    def test_nonpositive_maxsize_is_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            ResponseCache(maxsize=0)

@@ -1,0 +1,196 @@
+"""ServeCore: query semantics and the byte-identity determinism contract."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.serve import (
+    RESPONSE_SCHEMA,
+    MinedSnapshot,
+    ServeCore,
+    UnknownCampaignError,
+    canonical_json,
+)
+
+from tests.serve.conftest import answer_fixed_queries
+
+
+def _bytes(responses):
+    return "\n".join(canonical_json(r) for r in responses)
+
+
+class TestCheck:
+    def test_known_url(self, core, snapshot, known_url):
+        response = core.check(known_url)
+        entry = snapshot.urls[known_url]
+        assert response["schema"] == RESPONSE_SCHEMA
+        assert response["kind"] == "check"
+        assert response["known"] is True
+        assert response["wpn_ids"] == list(entry["wpn_ids"])
+        assert response["cluster_ids"] == list(entry["cluster_ids"])
+        assert response["flagged_by_blocklist"] == entry["flagged"]
+
+    def test_unknown_url(self, core):
+        response = core.check("https://never-crawled.example/landing")
+        assert response["known"] is False
+        assert response["wpn_ids"] == []
+        assert response["is_malicious"] is False
+
+    def test_unparseable_url_degrades_to_no_etld1(self, core):
+        response = core.check("not a url at all")
+        assert response["landing_etld1"] is None
+        assert response["suspicious_infrastructure"] is False
+
+    def test_batch_matches_singles(self, core, fixed_queries):
+        urls = fixed_queries["check"]
+        assert core.check_batch(urls) == [core.check(u) for u in urls]
+
+
+class TestClassify:
+    def test_own_record_is_assigned_to_its_cluster(self, core, snapshot):
+        row = snapshot.records[0]
+        response = core.classify(
+            {
+                "title": " ".join(row["text_tokens"]),
+                "body": "",
+                "landing_url": row["landing_url"],
+            }
+        )
+        assert response["kind"] == "classify"
+        assert response["assigned"] is True
+        assert response["distance"] <= snapshot.cut_threshold
+        assert response["nearest"]["cluster_id"] == row["cluster_id"]
+        assert response["campaign"]["cluster_id"] == row["cluster_id"]
+
+    def test_far_query_is_not_assigned(self, core):
+        response = core.classify(
+            {
+                "title": "zzqx qwyjibo flurble",
+                "body": "gnarp vexqu blarnish",
+                "landing_url": None,
+            }
+        )
+        assert response["assigned"] is False
+        assert response["campaign"] is None
+        assert response["verdict"] == {"is_ad": False, "is_malicious": False}
+
+    def test_non_mapping_is_a_type_error(self, core):
+        with pytest.raises(TypeError, match="mapping"):
+            core.classify("just a string")
+
+    def test_batch_matches_singles(self, snapshot, fixed_queries):
+        fresh = ServeCore(snapshot, cache_size=0)
+        wpns = fixed_queries["classify"]
+        batched = fresh.classify_batch(wpns)
+        assert batched == [fresh.classify(w) for w in wpns]
+
+
+class TestCampaignAndStats:
+    def test_campaign_dossier(self, core, snapshot):
+        cluster_id = int(sorted(snapshot.campaigns.values(),
+                                key=lambda c: c["cluster_id"])[0]["cluster_id"])
+        response = core.campaign(cluster_id)
+        assert response["kind"] == "campaign"
+        assert response["cluster_id"] == cluster_id
+        assert response["wpn_ids"] == sorted(response["wpn_ids"])
+
+    def test_unknown_campaign_raises(self, core):
+        with pytest.raises(UnknownCampaignError, match="no campaign"):
+            core.campaign(10**9)
+
+    def test_stats_headline_numbers(self, core, snapshot):
+        response = core.stats()
+        assert response["kind"] == "stats"
+        assert response["records"] == snapshot.n_records
+        assert response["clusters"] == len(snapshot.campaigns)
+        assert response["known_urls"] == len(snapshot.urls)
+        assert response["snapshot"]["content_hash"] == snapshot.hash
+        assert response["cut_threshold"] == snapshot.cut_threshold
+
+
+class TestDeterminism:
+    """The ISSUE's contract: same snapshot -> same bytes, whatever the knobs."""
+
+    def test_worker_counts_are_byte_identical(self, snapshot, fixed_queries):
+        outputs = {
+            workers: _bytes(
+                answer_fixed_queries(
+                    ServeCore(snapshot, workers=workers), fixed_queries
+                )
+            )
+            for workers in (1, 2, 4)
+        }
+        assert outputs[1] == outputs[2] == outputs[4]
+
+    def test_tile_sizes_are_byte_identical(self, snapshot, fixed_queries):
+        reference = _bytes(
+            answer_fixed_queries(ServeCore(snapshot), fixed_queries)
+        )
+        for tile_size in (3, 7, 1000):
+            tiled = _bytes(
+                answer_fixed_queries(
+                    ServeCore(snapshot, tile_size=tile_size), fixed_queries
+                )
+            )
+            assert tiled == reference, f"tile_size={tile_size} changed bytes"
+
+    def test_cache_on_off_byte_identical(self, snapshot, fixed_queries):
+        cached = ServeCore(snapshot, cache_size=64)
+        uncached = ServeCore(snapshot, cache_size=0)
+        first = _bytes(answer_fixed_queries(cached, fixed_queries))
+        # Second pass over the cached core is served from the cache.
+        replay = _bytes(answer_fixed_queries(cached, fixed_queries))
+        cold = _bytes(answer_fixed_queries(uncached, fixed_queries))
+        assert first == replay == cold
+        assert cached.cache_info()["hits"] > 0
+        assert uncached.cache_info() == {
+            "enabled": False, "hits": 0, "misses": 0, "size": 0, "maxsize": 0,
+        }
+
+    def test_loaded_snapshot_answers_like_the_original(
+        self, snapshot, snapshot_path, fixed_queries
+    ):
+        reloaded = MinedSnapshot.load(snapshot_path)
+        assert _bytes(
+            answer_fixed_queries(ServeCore(reloaded), fixed_queries)
+        ) == _bytes(answer_fixed_queries(ServeCore(snapshot), fixed_queries))
+
+
+class TestCacheCounters:
+    def test_repeat_queries_hit(self, snapshot, known_url):
+        fresh = ServeCore(snapshot)
+        fresh.check(known_url)
+        info = fresh.cache_info()
+        assert info == {
+            "enabled": True, "hits": 0, "misses": 1, "size": 1,
+            "maxsize": 1024,
+        }
+        fresh.check(known_url)
+        assert fresh.cache_info()["hits"] == 1
+
+    def test_stats_is_never_cached(self, snapshot):
+        fresh = ServeCore(snapshot)
+        fresh.stats()
+        fresh.stats()
+        assert fresh.cache_info() == {
+            "enabled": True, "hits": 0, "misses": 0, "size": 0,
+            "maxsize": 1024,
+        }
+
+
+class TestTracing:
+    def test_serve_spans_carry_cache_gauges(self, snapshot, known_url):
+        tracer = Tracer()
+        traced = ServeCore(snapshot, tracer=tracer)
+        traced.check(known_url)
+        traced.check(known_url)
+        traced.classify({"title": "hi", "body": "", "landing_url": None})
+        traced.stats()
+        tracer.finish()
+        spans = [s for s in tracer.root.walk() if s.name.startswith("serve.")]
+        names = [s.name for s in spans]
+        assert names == [
+            "serve.check", "serve.check", "serve.classify", "serve.stats",
+        ]
+        first, second = spans[0], spans[1]
+        assert first.metrics["cache_misses"] == 1
+        assert second.metrics["cache_hits"] == 1

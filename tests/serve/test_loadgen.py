@@ -1,0 +1,93 @@
+"""Load generator: deterministic request mix, thread-count invariance."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.serve import ServeCore, generate_requests, run_load
+from repro.serve.loadgen import _percentile
+
+
+class TestGenerateRequests:
+    def test_same_seed_same_requests(self, snapshot):
+        assert generate_requests(snapshot, 50, seed=5) == generate_requests(
+            snapshot, 50, seed=5
+        )
+
+    def test_different_seed_differs(self, snapshot):
+        assert generate_requests(snapshot, 50, seed=5) != generate_requests(
+            snapshot, 50, seed=6
+        )
+
+    def test_covers_every_method(self, snapshot):
+        methods = {m for m, _ in generate_requests(snapshot, 200, seed=1)}
+        assert methods == {"check", "classify", "campaign", "stats"}
+
+    def test_rejects_nonpositive_n(self, snapshot):
+        with pytest.raises(ValueError, match="n must be"):
+            generate_requests(snapshot, 0, seed=1)
+
+
+class TestRunLoad:
+    def test_thread_counts_share_one_checksum(self, snapshot):
+        requests = generate_requests(snapshot, 40, seed=9)
+        checksums = {
+            workers: run_load(
+                ServeCore(snapshot), requests, workers=workers
+            ).response_checksum
+            for workers in (1, 2, 4)
+        }
+        assert checksums[1] == checksums[2] == checksums[4]
+
+    def test_cache_off_same_checksum(self, snapshot):
+        # Doubling the list guarantees re-asks; with 2 round-robin workers
+        # a request and its twin (i, i+20) share a thread, so the twin is
+        # always a cache hit on the cached core.
+        requests = generate_requests(snapshot, 20, seed=9) * 2
+        cached = run_load(ServeCore(snapshot), requests, workers=2)
+        uncached = run_load(
+            ServeCore(snapshot, cache_size=0), requests, workers=2
+        )
+        assert cached.response_checksum == uncached.response_checksum
+        assert cached.cache_hits > 0  # the mix re-asks, so the cache engages
+        assert uncached.cache_hits == 0 and uncached.cache_misses == 0
+
+    def test_null_clock_keeps_the_result_bytes_stable(self, snapshot):
+        requests = generate_requests(snapshot, 20, seed=2)
+        result = run_load(ServeCore(snapshot), requests, workers=2)
+        assert result.wall_s == 0.0
+        assert result.qps == 0.0
+        assert result.p50_ms == 0.0 and result.p99_ms == 0.0
+        again = run_load(ServeCore(snapshot), requests, workers=2)
+        assert again == result
+
+    def test_row_is_json_ready(self, snapshot):
+        requests = generate_requests(snapshot, 10, seed=3)
+        row = run_load(ServeCore(snapshot), requests).row()
+        assert set(row) == {
+            "workers", "n_requests", "wall_s", "qps", "p50_ms", "p99_ms",
+            "cache_hits", "cache_misses", "cache_hit_rate",
+            "response_checksum",
+        }
+        assert row["n_requests"] == 10
+
+    def test_traced_core_is_rejected(self, snapshot):
+        traced = ServeCore(snapshot, tracer=Tracer())
+        with pytest.raises(ValueError, match="untraced"):
+            run_load(traced, generate_requests(snapshot, 5, seed=1))
+
+    def test_nonpositive_workers_rejected(self, snapshot, core):
+        with pytest.raises(ValueError, match="workers"):
+            run_load(core, generate_requests(snapshot, 5, seed=1), workers=0)
+
+    def test_worker_errors_are_reraised(self, snapshot, core):
+        with pytest.raises(ValueError, match="unknown request method"):
+            run_load(core, [("explode", None)], workers=2)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.50) == 2.0
+        assert _percentile(values, 0.99) == 4.0
+        assert _percentile([7.0], 0.50) == 7.0
+        assert _percentile([], 0.50) == 0.0

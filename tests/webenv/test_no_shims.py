@@ -1,0 +1,37 @@
+"""The PR-2 deprecation shims are gone: imports fail loudly, not softly.
+
+Replaces ``test_deprecation_shims.py`` — the one-release warn-once
+``__getattr__`` re-export shims in ``repro.webenv`` were retired in PR 7,
+so the old import paths must now raise instead of warning.
+"""
+
+import importlib
+
+import pytest
+
+
+class TestShimRemoval:
+    def test_webenv_urls_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.webenv.urls")
+
+    def test_domains_no_longer_reexports_util_names(self):
+        import repro.webenv.domains as domains
+
+        for name in (
+            "BENIGN_TLDS",
+            "MULTI_LABEL_SUFFIXES",
+            "SHADY_TLDS",
+            "effective_second_level_domain",
+        ):
+            with pytest.raises(AttributeError):
+                getattr(domains, name)
+
+    def test_domains_has_no_module_getattr_hook(self):
+        import repro.webenv.domains as domains
+
+        assert "__getattr__" not in vars(domains)
+
+    def test_real_homes_still_export(self):
+        from repro.util.domains import BENIGN_TLDS, SHADY_TLDS  # noqa: F401
+        from repro.util.urls import Url  # noqa: F401
