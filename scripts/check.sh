@@ -170,6 +170,17 @@ else
     echo "no committed BENCH_pipeline.json; skipping"
 fi
 
+# Scale sweep: re-run the blocked sparse pipeline at the committed
+# baseline's scales and fail on counter drift, dense-fraction ceiling
+# breaches, or growth-exponent drift (superlinear growth creeping back).
+step "scale sweep compare (python -m repro.bench --scale-sweep --compare BENCH_scale.json)"
+if [ -f BENCH_scale.json ]; then
+    python -m repro.bench --scale-sweep --compare BENCH_scale.json \
+        || failures=$((failures + 1))
+else
+    echo "no committed BENCH_scale.json; skipping"
+fi
+
 # Serve stack: build a snapshot at reduced scale, drive the load generator
 # at 1/2/4 threads and demand one response checksum across all counts
 # (cache on, cold per count). The committed BENCH_serve.json then gates

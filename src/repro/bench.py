@@ -18,6 +18,15 @@ count, plus the response checksum that must be identical across counts).
 ``--smoke`` runs a tiny scenario (for ``scripts/check.sh``) just to prove the
 harness end-to-end; the default scale matches ``benchmarks/``.
 
+``--scale-sweep`` runs the blocked sparse pipeline at several population
+scales and writes ``BENCH_scale.json``: per-scale pipeline wall time, peak
+matrix footprint, candidate-pair count, and the fitted growth exponents of
+each against the record count.  The blocking stage's promise is staying a
+small fraction of the dense O(n^2) trajectory, so the sweep's ``--compare``
+gate fails when any counter crosses its dense-fraction ceiling, when a
+growth exponent drifts above the committed trajectory, or when the
+deterministic per-scale counters drift from the baseline at all.
+
 ``--compare`` is the regression gate: re-run the committed baseline's
 scenario (under its recorded perf configuration, crawl workers included) and
 fail when any crawl or pipeline stage regresses more than ``--tolerance``
@@ -34,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
@@ -58,6 +68,33 @@ DEFAULT_SERVE_TOLERANCE = 0.50
 DEFAULT_SERVE_REQUESTS = 240
 SMOKE_SERVE_REQUESTS = 60
 SERVE_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+SCALE_SCHEMA = "repro-bench-scale/1"
+DEFAULT_SCALE_BASELINE = "BENCH_scale.json"
+SWEEP_SCALES: Tuple[float, ...] = (0.0625, 0.125, 0.25)
+SMOKE_SWEEP_SCALES: Tuple[float, ...] = (0.02, 0.04)
+#: Per-scale ceilings on each counter as a fraction of its dense
+#: quadratic reference (all n*(n-1)/2 pairs; one n^2 float64 matrix).
+#: Blocking keeps these small (measured ~0.26 / ~0.035 / ~0.07 at scale
+#: 0.25); crossing a ceiling means candidate pruning collapsed and the
+#: pipeline is back on the dense O(n^2) trajectory.
+DENSE_FRACTION_CEILINGS: Dict[str, float] = {
+    "candidate_pairs": 0.50,
+    "stored_pairs": 0.125,
+    "peak_matrix_bytes": 0.25,
+}
+#: Allowed drift of a fitted growth exponent above the committed
+#: baseline's, for deterministic counters and for the (noisy) wall.
+GROWTH_EXPONENT_DRIFT = 0.15
+WALL_EXPONENT_DRIFT = 0.35
+#: Wall-time sweep tolerance is looser than the per-stage gate: each scale
+#: contributes one end-to-end pipeline wall, not amortized stage walls.
+DEFAULT_SWEEP_TOLERANCE = 0.50
+#: Deterministic per-scale counters the sweep gate pins against baseline.
+_SWEEP_EXACT_KEYS: Tuple[str, ...] = (
+    "n_records", "candidate_pairs", "stored_pairs", "peak_matrix_bytes",
+    "clusters",
+)
 
 
 def _stage_rows(parent: Span) -> List[Dict[str, Any]]:
@@ -89,6 +126,8 @@ def run_benchmark(
     tile_size: Optional[int] = None,
     precision: str = "float64",
     storage: str = "dense",
+    blocking: str = "none",
+    blocking_bound: Optional[float] = None,
     crawl_workers: int = 1,
     crawl_shard_size: Optional[int] = None,
 ) -> Dict[str, Any]:
@@ -102,8 +141,11 @@ def run_benchmark(
         shard_size=crawl_shard_size,
     )
     overrides: Dict[str, Any] = dict(
-        workers=workers, precision=precision, storage=storage
+        workers=workers, precision=precision, storage=storage,
+        blocking=blocking,
     )
+    if blocking_bound is not None:
+        overrides["blocking_bound"] = blocking_bound
     if tile_size is not None:
         overrides["tile_size"] = tile_size
     miner = PushAdMiner.for_dataset(dataset, tracer=tracer, **overrides)
@@ -122,6 +164,8 @@ def run_benchmark(
             "tile_size": miner.config.tile_size,
             "precision": miner.config.precision,
             "storage": miner.config.storage,
+            "blocking": miner.config.blocking,
+            "blocking_bound": miner.config.blocking_bound,
             "crawl_workers": crawl_workers,
             "crawl_shard_size": (
                 crawl_shard_size
@@ -142,6 +186,198 @@ def run_benchmark(
         "peak_matrix_bytes": _peak_matrix_bytes(tracer),
         "summary": result.summary(),
     }
+
+
+def _growth_exponent(
+    rows: List[Dict[str, Any]], key: str
+) -> Optional[float]:
+    """Fitted power-law exponent of ``key`` against ``n_records``.
+
+    Uses the sweep's endpoints (the widest lever arm, least noise-
+    dominated): ``value ~ n**e`` with
+    ``e = log(v_last / v_first) / log(n_last / n_first)``.
+    """
+    if len(rows) < 2:
+        return None
+    first, last = rows[0], rows[-1]
+    n0, n1 = float(first["n_records"]), float(last["n_records"])
+    v0, v1 = float(first[key]), float(last[key])
+    if n0 <= 0 or n1 <= n0 or v0 <= 0 or v1 <= 0:
+        return None
+    return round(math.log(v1 / v0) / math.log(n1 / n0), 3)
+
+
+def run_scale_sweep(
+    seed: int,
+    scales: Tuple[float, ...] = SWEEP_SCALES,
+    *,
+    workers: int = 1,
+    tile_size: Optional[int] = None,
+    storage: str = "sparse",
+    blocking: str = "url",
+    blocking_bound: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Pipeline runs at increasing scales; returns the sweep payload.
+
+    Each row records the deterministic size counters (records, candidate
+    pairs, stored pairs, peak matrix bytes, clusters) plus the pipeline
+    wall; the ``growth`` block fits each metric's power-law exponent
+    against the record count.  Staying a small, non-growing fraction of
+    the dense quadratic is the blocking stage's scaling contract — the
+    compare gate enforces the ceilings and the exponent trajectory.
+    """
+    rows: List[Dict[str, Any]] = []
+    for scale in scales:
+        tracer = Tracer(clock=PerfClock())
+        config = paper_scenario(seed=seed, scale=scale)
+        dataset = run_full_crawl(config=config, tracer=tracer)
+        overrides: Dict[str, Any] = dict(
+            workers=workers, storage=storage, blocking=blocking
+        )
+        if blocking_bound is not None:
+            overrides["blocking_bound"] = blocking_bound
+        if tile_size is not None:
+            overrides["tile_size"] = tile_size
+        miner = PushAdMiner.for_dataset(dataset, tracer=tracer, **overrides)
+        result = miner.run(dataset.valid_records)
+        tracer.finish()
+
+        pipeline_span = tracer.root.find("pipeline")
+        distances_span = tracer.root.find("pipeline.distances")
+        blocking_span = tracer.root.find("pipeline.blocking")
+        assert pipeline_span is not None and distances_span is not None
+        n = len(dataset.valid_records)
+        all_pairs = n * (n - 1) // 2
+        rows.append({
+            "scale": scale,
+            "n_records": n,
+            "wall_s": round(pipeline_span.duration, 6),
+            "distances_wall_s": round(distances_span.duration, 6),
+            "peak_matrix_bytes": _peak_matrix_bytes(tracer),
+            "candidate_pairs": (
+                int(blocking_span.metrics["candidate_pairs"])
+                if blocking_span is not None
+                else all_pairs
+            ),
+            "stored_pairs": (
+                int(blocking_span.metrics["stored_pairs"])
+                if blocking_span is not None
+                else all_pairs
+            ),
+            "clusters": int(result.summary()["wpn_clusters"]),
+        })
+    return {
+        "schema": SCALE_SCHEMA,
+        "scenario": {"seed": seed, "scales": list(scales)},
+        "perf": {
+            "workers": workers,
+            "tile_size": tile_size,
+            "storage": storage,
+            "blocking": blocking,
+            "blocking_bound": blocking_bound,
+        },
+        "rows": rows,
+        "growth": {
+            key: _growth_exponent(rows, key)
+            for key in ("wall_s", "peak_matrix_bytes", "candidate_pairs",
+                        "stored_pairs")
+        },
+    }
+
+
+def _dense_reference(row: Dict[str, Any], key: str) -> float:
+    """The dense quadratic a sweep counter is measured against."""
+    n = int(row["n_records"])
+    if key == "peak_matrix_bytes":
+        return float(n) * n * 8  # one dense float64 square
+    return n * (n - 1) / 2.0  # all unordered pairs
+
+
+def compare_scale_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_SWEEP_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, report_lines)`` for a scale sweep against its baseline.
+
+    Three layers catch the return of dense-trajectory growth.  Hard,
+    deterministic: every per-scale counter must match the committed
+    baseline exactly, and every counter must stay under its
+    :data:`DENSE_FRACTION_CEILINGS` share of the dense quadratic — the
+    ceilings bind even if the baseline itself is regenerated after a
+    pruning collapse.  Drift: a fitted growth exponent may not exceed the
+    baseline's by more than :data:`GROWTH_EXPONENT_DRIFT`
+    (:data:`WALL_EXPONENT_DRIFT` for the noisy wall).  Soft: a scale's
+    pipeline wall regressing more than ``tolerance`` fails like the
+    per-stage gate.
+    """
+    failures: List[str] = []
+    lines: List[str] = []
+
+    base_rows = {row["scale"]: row for row in baseline.get("rows", [])}
+    for row in fresh["rows"]:
+        scale, wall = row["scale"], float(row["wall_s"])
+        base = base_rows.get(scale)
+        note = (
+            f"scale {scale:<7g} n={row['n_records']:<6d} "
+            f"wall {wall:7.3f}s  candidates {row['candidate_pairs']:>9,}  "
+            f"peak {row['peak_matrix_bytes']:>12,} B"
+        )
+        for key, ceiling in DENSE_FRACTION_CEILINGS.items():
+            reference = _dense_reference(row, key)
+            fraction = float(row[key]) / reference if reference > 0 else 0.0
+            if fraction > ceiling:
+                failures.append(
+                    f"scale {scale}: {key} is {fraction:.1%} of the dense "
+                    f"quadratic (ceiling {ceiling:.0%}): candidate pruning "
+                    "collapsed back to the O(n^2) trajectory"
+                )
+        if base is None:
+            lines.append(note + "  (no baseline)")
+            continue
+        for key in _SWEEP_EXACT_KEYS:
+            if row.get(key) != base.get(key):
+                failures.append(
+                    f"scale {scale}: {key} drifted (determinism "
+                    f"regression): {row.get(key)} vs baseline {base.get(key)}"
+                )
+        base_wall = float(base["wall_s"])
+        if base_wall > 0 and wall > base_wall * (1.0 + tolerance):
+            lines.append(note + "  REGRESSION")
+            failures.append(
+                f"scale {scale}: wall {wall:.3f}s vs baseline "
+                f"{base_wall:.3f}s (>{tolerance:.0%} regression)"
+            )
+        else:
+            lines.append(note)
+    missing = sorted(set(base_rows) - {r["scale"] for r in fresh["rows"]})
+    for scale in missing:
+        failures.append(
+            f"scale {scale}: present in baseline but missing from run"
+        )
+
+    base_growth = baseline.get("growth", {})
+    for key, exponent in fresh.get("growth", {}).items():
+        if exponent is None:
+            continue
+        base_exponent = base_growth.get(key)
+        note = f"growth {key:18s} ~ n^{exponent:.3f}"
+        if base_exponent is None:
+            lines.append(note + "  (no baseline)")
+            continue
+        drift = (
+            WALL_EXPONENT_DRIFT if key == "wall_s" else GROWTH_EXPONENT_DRIFT
+        )
+        if exponent > float(base_exponent) + drift:
+            lines.append(note + "  SUPERLINEAR DRIFT")
+            failures.append(
+                f"{key} grows as n^{exponent:.3f} vs baseline "
+                f"n^{float(base_exponent):.3f} (drift allowance "
+                f"{drift:g}): growth is pulling toward the dense trajectory"
+            )
+        else:
+            lines.append(note + f"  (baseline n^{float(base_exponent):.3f})")
+    return failures, lines
 
 
 def run_serve_benchmark(
@@ -412,6 +648,8 @@ def _run_compare(args: argparse.Namespace) -> int:
         tile_size=perf.get("tile_size"),
         precision=str(perf.get("precision", "float64")),
         storage=str(perf.get("storage", "dense")),
+        blocking=str(perf.get("blocking", "none")),
+        blocking_bound=perf.get("blocking_bound"),
         crawl_workers=int(perf.get("crawl_workers", 1)),
         crawl_shard_size=perf.get("crawl_shard_size"),
     )
@@ -427,6 +665,63 @@ def _run_compare(args: argparse.Namespace) -> int:
             print("  - " + failure)
         return 1
     print("\nbench compare: ok")
+    return 0
+
+
+def _run_scale_compare(args: argparse.Namespace, tolerance: float) -> int:
+    baseline = _load_baseline(args.compare, required_key="rows")
+    if baseline is None:
+        print(f"no usable scale baseline at {args.compare}; nothing to compare")
+        return 1
+    scenario = baseline.get("scenario", {})
+    seed = int(scenario.get("seed", args.seed))
+    scales = tuple(float(s) for s in scenario.get("scales", SWEEP_SCALES))
+    perf = baseline.get("perf", {})
+    payload = run_scale_sweep(
+        seed,
+        scales,
+        workers=int(perf.get("workers", 1)),
+        tile_size=perf.get("tile_size"),
+        storage=str(perf.get("storage", "sparse")),
+        blocking=str(perf.get("blocking", "url")),
+        blocking_bound=perf.get("blocking_bound"),
+    )
+    failures, lines = compare_scale_reports(
+        payload, baseline, tolerance=tolerance
+    )
+    print(f"scale sweep compare vs {args.compare} "
+          f"(seed {seed}, scales {', '.join(str(s) for s in scales)}):")
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print(f"\nscale sweep compare: FAILED ({len(failures)} issue(s))")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nscale sweep compare: ok")
+    return 0
+
+
+def _run_scale_sweep(args: argparse.Namespace) -> int:
+    scales = SMOKE_SWEEP_SCALES if args.smoke else SWEEP_SCALES
+    output = args.output if args.output is not None else DEFAULT_SCALE_BASELINE
+    payload = run_scale_sweep(
+        args.seed,
+        scales,
+        workers=args.workers,
+        tile_size=args.tile_size,
+        storage=args.storage if args.storage != "dense" else "sparse",
+        blocking=args.blocking if args.blocking != "none" else "url",
+        blocking_bound=args.blocking_bound,
+    )
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    growth = payload["growth"]
+    last = payload["rows"][-1]
+    print(f"wrote {output} ({len(payload['rows'])} scales up to "
+          f"n={last['n_records']}; wall ~ n^{growth['wall_s']}, "
+          f"peak bytes ~ n^{growth['peak_matrix_bytes']}, "
+          f"candidates ~ n^{growth['candidate_pairs']})")
     return 0
 
 
@@ -490,8 +785,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="kernel row-tile size (default MinerConfig's)")
     parser.add_argument("--precision", choices=("float64", "float32"),
                         default="float64", help="distance matrix dtype")
-    parser.add_argument("--storage", choices=("dense", "condensed"),
-                        default="dense", help="distance matrix storage")
+    parser.add_argument("--storage", choices=("dense", "condensed", "sparse"),
+                        default="dense", help="distance matrix storage "
+                             "(sparse requires --blocking url)")
+    parser.add_argument("--blocking", choices=("none", "url"),
+                        default="none",
+                        help="candidate blocking stage (url requires "
+                             "--storage sparse)")
+    parser.add_argument("--blocking-bound", type=float, default=None,
+                        help="blocking recall bound in (0, 0.5] "
+                             "(default MinerConfig's)")
+    parser.add_argument("--scale-sweep", action="store_true",
+                        help="run the blocked pipeline at scales "
+                             f"{'/'.join(str(s) for s in SWEEP_SCALES)} and "
+                             "write BENCH_scale.json with fitted growth "
+                             "exponents (with --compare: fail on counter "
+                             "drift or superlinear growth)")
     parser.add_argument("--compare", nargs="?", const=DEFAULT_BASELINE,
                         metavar="BASELINE",
                         help="re-run the committed baseline's scenario and "
@@ -508,6 +817,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"{DEFAULT_MIN_WALL})")
     args = parser.parse_args(argv)
 
+    if args.scale_sweep:
+        if args.compare is not None:
+            tolerance = (
+                args.tolerance
+                if args.tolerance is not None
+                else DEFAULT_SWEEP_TOLERANCE
+            )
+            if args.compare == DEFAULT_BASELINE:
+                args.compare = DEFAULT_SCALE_BASELINE
+            return _run_scale_compare(args, tolerance)
+        return _run_scale_sweep(args)
     if args.serve:
         if args.compare is not None:
             tolerance = (
@@ -537,6 +857,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         tile_size=args.tile_size,
         precision=args.precision,
         storage=args.storage,
+        blocking=args.blocking,
+        blocking_bound=args.blocking_bound,
         crawl_workers=args.crawl_workers,
         crawl_shard_size=args.crawl_shard_size,
     )

@@ -38,10 +38,31 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for crawl session shards "
                              "(the dataset is byte-identical for any "
                              "count; default 1 = serial)")
+    parser.add_argument("--storage", choices=("dense", "condensed", "sparse"),
+                        default="dense",
+                        help="distance matrix storage; sparse avoids the "
+                             "O(n^2) matrices via candidate blocking and "
+                             "requires --blocking url")
+    parser.add_argument("--blocking", choices=("none", "url"), default="none",
+                        help="candidate blocking stage for the sparse path "
+                             "(results stay bit-identical to dense)")
+    parser.add_argument("--blocking-bound", type=float, default=None,
+                        help="blocking recall bound in (0, 0.5] "
+                             "(default MinerConfig's)")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree after the run")
     parser.add_argument("--trace-json", metavar="PATH",
                         help="write the trace as deterministic JSON to PATH")
+
+
+def _miner_overrides(args) -> dict:
+    """MinerConfig overrides shared by every pipeline-running command."""
+    overrides = dict(
+        workers=args.workers, storage=args.storage, blocking=args.blocking
+    )
+    if args.blocking_bound is not None:
+        overrides["blocking_bound"] = args.blocking_bound
+    return overrides
 
 
 def _make_tracer(args) -> Optional[Tracer]:
@@ -93,7 +114,7 @@ def cmd_analyze(args) -> int:
     if args.records:
         corpus = load_records(args.records)
         miner = PushAdMiner(
-            config=MinerConfig(seed=args.seed, workers=args.workers),
+            config=MinerConfig(seed=args.seed, **_miner_overrides(args)),
             tracer=tracer,
         )
         result = miner.run([r for r in corpus if r.valid])
@@ -102,7 +123,7 @@ def cmd_analyze(args) -> int:
         dataset = _crawl_dataset(args, tracer)
         corpus = dataset.records
         result = PushAdMiner.for_dataset(
-            dataset, tracer=tracer, workers=args.workers
+            dataset, tracer=tracer, **_miner_overrides(args)
         ).run(dataset.valid_records)
 
     print("Table 3 — summary")
@@ -176,14 +197,14 @@ def cmd_snapshot(args) -> int:
     if args.records:
         corpus = load_records(args.records)
         miner = PushAdMiner(
-            config=MinerConfig(seed=args.seed, workers=args.workers),
+            config=MinerConfig(seed=args.seed, **_miner_overrides(args)),
             tracer=tracer,
         )
         result = miner.run([r for r in corpus if r.valid])
     else:
         dataset = _crawl_dataset(args, tracer)
         result = PushAdMiner.for_dataset(
-            dataset, tracer=tracer, workers=args.workers
+            dataset, tracer=tracer, **_miner_overrides(args)
         ).run(dataset.valid_records)
 
     snapshot = MinedSnapshot.from_result(result)
@@ -260,7 +281,7 @@ def cmd_detect(args) -> int:
     tracer = _make_tracer(args)
     dataset = _crawl_dataset(args, tracer)
     result = PushAdMiner.for_dataset(
-        dataset, tracer=tracer, workers=args.workers
+        dataset, tracer=tracer, **_miner_overrides(args)
     ).run(dataset.valid_records)
     malicious = (
         result.labeling.confirmed_malicious_ids

@@ -2,22 +2,43 @@
 
 The paper clusters WPNs with agglomerative clustering over the combined
 distance matrix and cuts the dendrogram at the level maximizing the average
-silhouette score (section 5.1.1). We implement average-linkage
-agglomeration with the nearest-neighbor-chain algorithm (O(n^2), exact for
-reducible linkages such as average) and a vectorized silhouette.
+silhouette score (section 5.1.1). We implement canonical global-minimum
+agglomeration — each step merges the globally closest active pair, ties
+broken toward the lowest (row, column) slot — over either a dense work
+matrix or the candidate-sparse graph from :mod:`repro.perf.blocking`.
+The sparse path certifies, merge by merge, that the blocked graph carries
+enough information to reproduce the dense merge bit for bit (every
+unknown pair is provably further than the chosen one); it stops at the
+first uncertifiable height and records the exact prefix, so downstream
+cut selection can prove its thresholds never leave certified territory.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.silhouette import average_silhouette
-from repro.perf import condensed_to_square
+from repro.perf import (
+    BlockingExactnessError,
+    CutScoringOperands,
+    ExecutionPlan,
+    PairwiseOperands,
+    SparsePairwise,
+    component_labels,
+    condensed_to_square,
+    cut_silhouette_tile,
+)
 from repro.util.graph import UnionFind
+
+#: Safety margin for the sparse-path exactness guards: a merge or a
+#: silhouette term is only certified when the known minimum undercuts
+#: every lower bound on unknown quantities by at least this much, so
+#: float rounding in the bound accumulators can never flip a decision.
+EXACTNESS_MARGIN = 1e-9
 
 
 @dataclass(frozen=True)
@@ -37,9 +58,25 @@ class Merge:
 
 
 class Linkage:
-    """A full dendrogram over ``n_leaves`` items."""
+    """A full dendrogram over ``n_leaves`` items.
 
-    def __init__(self, n_leaves: int, merges: Sequence[Merge]):
+    ``exact_merges`` / ``height_floor`` carry the sparse fit's exactness
+    certificate: the first ``exact_merges`` height-sorted merges are
+    bitwise identical to the dense path's, and every dense merge beyond
+    that prefix has height >= ``height_floor`` (the sparse path fills the
+    uncertified remainder with canonical placeholder merges at height
+    1.0).  Dense fits are exact everywhere: ``exact_merges`` defaults to
+    all merges and ``height_floor`` to infinity.
+    """
+
+    def __init__(
+        self,
+        n_leaves: int,
+        merges: Sequence[Merge],
+        *,
+        exact_merges: Optional[int] = None,
+        height_floor: float = float("inf"),
+    ):
         if n_leaves >= 2 and len(merges) != n_leaves - 1:
             raise ValueError(
                 f"a dendrogram over {n_leaves} leaves needs {n_leaves - 1} "
@@ -47,6 +84,10 @@ class Linkage:
             )
         self.n_leaves = n_leaves
         self.merges = sorted(merges, key=lambda m: m.height)
+        self.exact_merges = (
+            len(self.merges) if exact_merges is None else exact_merges
+        )
+        self.height_floor = height_floor
 
     def heights(self) -> np.ndarray:
         """Merge heights in nondecreasing order."""
@@ -121,21 +162,34 @@ class Linkage:
 
 
 class AgglomerativeClusterer:
-    """Average-linkage agglomerative clustering via nearest-neighbor chain."""
+    """Agglomerative clustering by canonical global-minimum merging.
+
+    Every step merges the globally closest active pair; ties break toward
+    the lowest row slot, then the lowest column in that row (merged
+    clusters occupy the lower of their parents' slots).  This canonical
+    order is what lets the candidate-sparse path reproduce the dense
+    merge sequence bit for bit: both paths pick the same pair whenever
+    the sparse graph can prove no unknown pair is closer.
+    """
 
     def __init__(self, linkage_method: str = "average"):
         if linkage_method not in ("average", "complete", "single"):
             raise ValueError(f"unsupported linkage: {linkage_method!r}")
         self.linkage_method = linkage_method
 
-    def fit(self, distances: np.ndarray) -> Linkage:
+    def fit(self, distances: Union[np.ndarray, SparsePairwise]) -> Linkage:
         """Build the dendrogram from a pairwise distance matrix.
 
-        Accepts either a symmetric square matrix or condensed
-        (strict-upper-triangle, :mod:`repro.perf.condensed` layout)
-        storage; either way the algorithm works on a fresh float64 square
-        work matrix.
+        Accepts a symmetric square matrix, condensed storage
+        (strict-upper-triangle, :mod:`repro.perf.condensed` layout), or a
+        candidate-sparse :class:`~repro.perf.SparsePairwise` graph.  The
+        dense forms work on a fresh float64 square work matrix; the
+        sparse form runs the certified sparse-graph Lance-Williams path
+        (average linkage only) and records its exactness certificate on
+        the returned :class:`Linkage`.
         """
+        if isinstance(distances, SparsePairwise):
+            return self._fit_sparse(distances)
         if distances.ndim == 1:
             # Condensed storage: m = n(n-1)/2 entries; solve for n. The
             # expansion is already a fresh float64 square, so it doubles
@@ -146,49 +200,67 @@ class AgglomerativeClusterer:
                 raise ValueError(
                     f"{m} entries is not a valid condensed matrix size"
                 )
-            work = condensed_to_square(distances, n, dtype=np.float64)
+            work = condensed_to_square(  # pushlint: disable=no-matrix-densify
+                distances, n, dtype=np.float64
+            )
         elif distances.ndim == 2 and distances.shape[0] == distances.shape[1]:
             n = distances.shape[0]
             work = distances.astype(np.float64, copy=True)
         else:
             raise ValueError("distance matrix must be square or condensed")
-        if n == 0:
-            return Linkage(0, [])
-        if n == 1:
-            return Linkage(1, [])
+        if n <= 1:
+            return Linkage(n, [])
         np.fill_diagonal(work, np.inf)
         active = np.ones(n, dtype=bool)
         sizes = np.ones(n, dtype=np.float64)
         cluster_id = list(range(n))
         next_id = n
         merges: List[Merge] = []
-        chain: List[int] = []
+
+        # Per-row nearest-neighbor cache: row_min[r] = min(work[r]) and
+        # row_arg[r] = the LOWEST column achieving it (np.argmin returns
+        # the first occurrence).  Lance-Williams updates can only raise
+        # entries of other rows (the merged value lies between its two
+        # parents for all three methods), so after a merge only rows
+        # whose cached argmin pointed at a dead/changed slot need a full
+        # rescan; the rest need at most a tie-to-lower-column fix.
+        row_min = work.min(axis=1)
+        row_arg = np.argmin(work, axis=1)
 
         while len(merges) < n - 1:
-            if not chain:
-                chain.append(int(np.argmax(active)))
-            a = chain[-1]
-            b = int(np.argmin(work[a]))
-            if len(chain) >= 2 and b == chain[-2]:
-                height = float(work[a, b])
-                merged_size = int(sizes[a] + sizes[b])
-                merges.append(
-                    Merge(cluster_id[a], cluster_id[b], height, merged_size, next_id)
-                )
-                new_row = self._lance_williams(work, a, b, sizes)
-                work[a, :] = new_row
-                work[:, a] = new_row
-                work[a, a] = np.inf
-                sizes[a] = sizes[a] + sizes[b]
-                active[b] = False
-                work[b, :] = np.inf
-                work[:, b] = np.inf
-                cluster_id[a] = next_id
-                next_id += 1
-                chain.pop()
-                chain.pop()
-            else:
-                chain.append(b)
+            masked = np.where(active, row_min, np.inf)
+            a = int(np.argmin(masked))
+            b = int(row_arg[a])
+            # b > a always: if work[a, c] == gmin for c < a then row c
+            # would have achieved the global min first (symmetry).
+            height = float(work[a, b])
+            merged_size = int(sizes[a] + sizes[b])
+            merges.append(
+                Merge(cluster_id[a], cluster_id[b], height, merged_size, next_id)
+            )
+            new_row = self._lance_williams(work, a, b, sizes)
+            work[a, :] = new_row
+            work[:, a] = new_row
+            work[a, a] = np.inf
+            sizes[a] = sizes[a] + sizes[b]
+            active[b] = False
+            work[b, :] = np.inf
+            work[:, b] = np.inf
+            cluster_id[a] = next_id
+            next_id += 1
+
+            row_min[a] = new_row.min()
+            row_arg[a] = int(np.argmin(new_row))
+            rescan = active & ((row_arg == a) | (row_arg == b))
+            rescan[a] = False
+            for r in np.flatnonzero(rescan):
+                row_min[r] = work[r].min()
+                row_arg[r] = int(np.argmin(work[r]))
+            # Rows keeping their min may still owe the canonical
+            # tie-break to the rewritten column a.
+            tie = active & ~rescan & (work[:, a] == row_min) & (row_arg > a)
+            tie[a] = False
+            row_arg[tie] = a
         return Linkage(n, merges)
 
     def _lance_williams(
@@ -207,6 +279,398 @@ class AgglomerativeClusterer:
         merged[a] = np.inf
         merged[b] = np.inf
         return merged
+
+    def _fit_sparse(self, graph: SparsePairwise) -> Linkage:
+        """Certified sparse-graph agglomeration over candidate entries.
+
+        The graph stores one float per stored pair (bitwise equal to
+        the dense matrix entry) and the blocking certificates promise
+        every absent pair has total distance >= ``graph.bound``.  Merges
+        below that cap can only join clusters inside one connected
+        component of the sub-bound entry graph — a cross-component
+        cluster pair averages only >= bound leaf pairs — so the fit runs
+        the canonical global-minimum loop independently per component on
+        a small dense work matrix (:func:`_component_linkage`, every
+        scalar update the dense path's exact operation sequence) and
+        interleaves the per-component sequences by the dense selection
+        rule: lowest height first, ties toward the lowest global row
+        slot.
+
+        A merge is certified only when its height provably undercuts
+        every pair the graph cannot price exactly — the flat
+        ``graph.bound`` for absent pairs and the per-pair lower bound
+        ``(known_sum + bound * unknown_pairs) / total_pairs`` for
+        partially covered cluster pairs — by :data:`EXACTNESS_MARGIN`.
+        The first uncertifiable step stops the exact prefix and records
+        ``height_floor``; the remaining clusters fold into canonical
+        placeholder merges at height 1.0.
+        """
+        if self.linkage_method != "average":
+            raise ValueError(
+                "sparse candidate graphs support average linkage only"
+            )
+        n = graph.n
+        if n <= 1:
+            return Linkage(n, [], exact_merges=0, height_floor=float("inf"))
+
+        n_components, comp = component_labels(graph)
+        members_flat = np.argsort(comp, kind="stable")
+        comp_sizes = np.bincount(comp, minlength=n_components)
+        member_offsets = np.zeros(n_components + 1, dtype=np.int64)
+        np.cumsum(comp_sizes, out=member_offsets[1:])
+        local = np.empty(n, dtype=np.int64)
+        local[members_flat] = np.arange(n, dtype=np.int64) - np.repeat(
+            member_offsets[:-1], comp_sizes
+        )
+
+        # Group the within-component entries by component.  Entries that
+        # join two components are discarded: they are >= the bound (no
+        # sub-bound edge crosses a component) and the flat absent-pair
+        # bound already covers them.
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        within = comp[rows] == comp[graph.indices]
+        e_row = rows[within]
+        e_col = graph.indices[within]
+        e_val = graph.data[within].astype(np.float64)
+        e_comp = comp[e_row]
+        e_order = np.argsort(e_comp, kind="stable")
+        e_row, e_col, e_val = e_row[e_order], e_col[e_order], e_val[e_order]
+        entry_counts = np.bincount(e_comp, minlength=n_components)
+        entry_offsets = np.zeros(n_components + 1, dtype=np.int64)
+        np.cumsum(entry_counts, out=entry_offsets[1:])
+
+        # The certification cap (= the graph's absent-pair bound) applies
+        # as soon as any pair is absent from the local matrices (never a
+        # candidate, screened, pruned, or cross-component); a single
+        # fully-known component reproduces the dense dendrogram to the
+        # top.
+        total_pairs = n * (n - 1) // 2
+        bound = float(graph.bound)
+        cap = (
+            float("inf")
+            if n_components == 1 and int(e_row.size) == total_pairs
+            else bound
+        )
+
+        runs: List[Optional[Tuple[List[Tuple[float, int, int]], List[float], float]]] = []
+        for c in range(n_components):
+            m = int(comp_sizes[c])
+            if m == 1:
+                runs.append(None)
+                continue
+            s, t = int(entry_offsets[c]), int(entry_offsets[c + 1])
+            if m == 2:
+                # A two-leaf component is always fully known (its one
+                # edge is a stored sub-bound entry), and its only merge
+                # is the pair value itself.
+                v = float(e_val[s])
+                if v < cap - EXACTNESS_MARGIN:
+                    runs.append(([(v, 0, 1)], [float("inf")], float("inf")))
+                else:
+                    runs.append(([], [], v))
+                continue
+            li = local[e_row[s:t]]
+            lj = local[e_col[s:t]]
+            work = np.full((m, m), np.inf)
+            # Upper-triangle entries; the kernels are bitwise symmetric,
+            # so mirroring reproduces the full symmetric work matrix.
+            work[li, lj] = e_val[s:t]
+            work[lj, li] = e_val[s:t]
+            if t - s == m * (m - 1) // 2:
+                # Every internal pair is stored: no internal lower
+                # bounds ever arise, so the lean loop (values only)
+                # replays the full loop's exact selection sequence.
+                runs.append(_component_linkage_known(work, cap))
+                continue
+            known = np.zeros((m, m))
+            known[li, lj] = 1.0
+            known[lj, li] = 1.0
+            runs.append(_component_linkage(work, known, cap, bound))
+
+        # --- interleave the component sequences ------------------------
+        # Each component's certified heights are nondecreasing, so a heap
+        # of sequence heads keyed (height, global slot of a) replays the
+        # dense path's global selection rule exactly.
+        ids = np.arange(n, dtype=np.int64)
+        gsizes = np.ones(n, dtype=np.int64)
+        alive = np.ones(n, dtype=bool)
+        pointers = [0] * n_components
+        # A component's current certification bound: its internal bound
+        # before the pending merge while mid-sequence, afterwards the
+        # bound it ended on (inf once nothing unknown remains).
+        current_bounds = np.full(n_components, np.inf)
+        heads: List[Tuple[float, int, int]] = []
+        for c, run in enumerate(runs):
+            if run is None:
+                continue
+            merges_c, bounds_c, end_bound = run
+            if merges_c:
+                h, al, _ = merges_c[0]
+                ga = int(members_flat[member_offsets[c] + al])
+                heads.append((h, ga, c))
+                current_bounds[c] = bounds_c[0]
+            else:
+                current_bounds[c] = end_bound
+        heapq.heapify(heads)
+
+        merges: List[Merge] = []
+        next_id = n
+        exact = True
+        floor = float("inf")
+        while heads:
+            h, ga, c = heads[0]
+            bound = min(cap, float(current_bounds.min()))
+            if not h < bound - EXACTNESS_MARGIN:
+                floor = min(h, bound)
+                exact = False
+                break
+            heapq.heappop(heads)
+            merges_c, bounds_c, end_bound = runs[c]
+            _, al, bl = merges_c[pointers[c]]
+            base = int(member_offsets[c])
+            gb = int(members_flat[base + bl])
+            merges.append(
+                Merge(
+                    int(ids[ga]), int(ids[gb]), float(h),
+                    int(gsizes[ga] + gsizes[gb]), next_id,
+                )
+            )
+            ids[ga] = next_id
+            gsizes[ga] += gsizes[gb]
+            alive[gb] = False
+            next_id += 1
+            pointers[c] += 1
+            p = pointers[c]
+            if p < len(merges_c):
+                nh, nal, _ = merges_c[p]
+                heapq.heappush(
+                    heads, (nh, int(members_flat[base + nal]), c)
+                )
+                current_bounds[c] = bounds_c[p]
+            else:
+                current_bounds[c] = end_bound
+        else:
+            # Every certified component merge was taken.  If clusters
+            # remain, the next dense merge is only bounded from below.
+            if int(alive.sum()) > 1:
+                floor = min(cap, float(current_bounds.min()))
+                exact = False
+
+        exact_count = len(merges)
+        if not exact:
+            if merges:
+                floor = max(floor, merges[-1].height)
+            remaining = np.flatnonzero(alive)
+            base_slot = int(remaining[0])
+            size_acc = int(gsizes[base_slot])
+            id_acc = int(ids[base_slot])
+            for s in remaining[1:]:
+                size_acc += int(gsizes[int(s)])
+                merges.append(
+                    Merge(id_acc, int(ids[int(s)]), 1.0, size_acc, next_id)
+                )
+                id_acc = next_id
+                next_id += 1
+        return Linkage(
+            n, merges, exact_merges=exact_count, height_floor=floor
+        )
+
+
+def _component_linkage(
+    work: np.ndarray, known: np.ndarray, cap: float, bound: float
+) -> Tuple[List[Tuple[float, int, int]], List[float], float]:
+    """Certified global-minimum average linkage over one component.
+
+    ``work`` holds the known pairwise values (``inf`` on the diagonal and
+    wherever a pair is unknown); ``known`` is 1.0 exactly where a value
+    is known.  Both are consumed in place.  Returns ``(merges, bounds,
+    end_bound)``: the certified local merge sequence as ``(height,
+    slot_a, slot_b)`` triples, the component's internal unknown-pair
+    lower bound before each merge, and the bound left standing after the
+    last one (``inf`` once nothing unknown remains).
+
+    Every fused value repeats the dense path's scalar sequence
+    ``(size_a * v_a + size_b * v_b) / (size_a + size_b)`` on the same
+    operands, so certified heights are bitwise equal to the dense path's
+    — ``inf`` operands propagate, marking any cluster pair with an
+    unknown leaf pair as unpriceable.  Alongside the values, the loop
+    tracks each cluster pair's known-leaf-pair sum and count; a pair not
+    fully covered carries the lower bound ``(known_sum + bound *
+    unknown_pairs) / total_pairs`` (the absent-pair certificate applied
+    to its unknown remainder), and the loop stops as soon as the global
+    minimum no longer provably undercuts every such bound and ``cap``.
+    """
+    m = work.shape[0]
+    sizes = np.ones(m)
+    active = np.ones(m, dtype=bool)
+    ksum = np.where(known > 0.0, work, 0.0)
+    kcnt = known
+    # Lower bounds for not-fully-known pairs: at leaf level an unknown
+    # pair's bound is exactly (0 + bound * 1) / 1 = bound; fully-known
+    # pairs carry no bound.
+    lbm = np.where(known > 0.0, np.inf, bound)
+    np.fill_diagonal(lbm, np.inf)
+
+    row_min = work.min(axis=1)
+    row_arg = np.argmin(work, axis=1)
+    lb_min = lbm.min(axis=1)
+    lb_arg = np.argmin(lbm, axis=1)
+
+    merges: List[Tuple[float, int, int]] = []
+    bounds: List[float] = []
+    end_bound = float("inf")
+    n_active = m
+    while n_active > 1:
+        # Dead rows carry inf in both caches, so the raw reductions match
+        # the masked selection (ties toward the lowest live slot).
+        a = int(np.argmin(row_min))
+        gmin = float(row_min[a])
+        glb = float(lb_min.min())
+        if not gmin < min(glb, cap) - EXACTNESS_MARGIN:
+            end_bound = min(gmin, glb)
+            break
+        b = int(row_arg[a])
+        bounds.append(glb)
+        merges.append((gmin, a, b))
+
+        size_a, size_b = float(sizes[a]), float(sizes[b])
+        total = size_a + size_b
+        # The dense path's average Lance-Williams update, same operands,
+        # same operation order.
+        fused = (size_a * work[a] + size_b * work[b]) / total
+        fused[a] = np.inf
+        fused[b] = np.inf
+        ks = ksum[a] + ksum[b]
+        ks[a] = 0.0
+        ks[b] = 0.0
+        kc = kcnt[a] + kcnt[b]
+        kc[a] = 0.0
+        kc[b] = 0.0
+        sizes[a] = total
+        active[b] = False
+        n_active -= 1
+        full = total * sizes
+        with np.errstate(invalid="ignore"):
+            lb_row = np.where(
+                active & (kc < full),
+                (ks + bound * (full - kc)) / full,
+                np.inf,
+            )
+        lb_row[a] = np.inf
+
+        work[a, :] = fused
+        work[:, a] = fused
+        work[b, :] = np.inf
+        work[:, b] = np.inf
+        ksum[a, :] = ks
+        ksum[:, a] = ks
+        kcnt[a, :] = kc
+        kcnt[:, a] = kc
+        lbm[a, :] = lb_row
+        lbm[:, a] = lb_row
+        lbm[b, :] = np.inf
+        lbm[:, b] = np.inf
+
+        # Value caches, exactly the dense fit's maintenance: a fused
+        # value lies between its parents, so only rows whose cached
+        # argmin pointed at a or b can change their minimum; the rest owe
+        # at most the canonical tie-break toward the rewritten column.
+        arg = int(np.argmin(fused))
+        row_arg[a] = arg
+        row_min[a] = fused[arg]
+        row_min[b] = np.inf
+        rescan = active & ((row_arg == a) | (row_arg == b))
+        rescan[a] = False
+        for r in np.flatnonzero(rescan):
+            arg = int(np.argmin(work[r]))
+            row_arg[r] = arg
+            row_min[r] = work[r, arg]
+        tie = active & ~rescan & (work[:, a] == row_min) & (row_arg > a)
+        tie[a] = False
+        row_arg[tie] = a
+
+        # Bound caches: a fused bound is a weighted mean of its parents'
+        # bounds — except where a fully-known side just turned partial,
+        # which can LOWER a row's bound, so fold the fresh column in.
+        arg = int(np.argmin(lb_row))
+        lb_arg[a] = arg
+        lb_min[a] = lb_row[arg]
+        lb_min[b] = np.inf
+        rescan_lb = active & ((lb_arg == a) | (lb_arg == b))
+        rescan_lb[a] = False
+        for r in np.flatnonzero(rescan_lb):
+            arg = int(np.argmin(lbm[r]))
+            lb_arg[r] = arg
+            lb_min[r] = lbm[r, arg]
+        lower = active & ~rescan_lb & (lb_row < lb_min)
+        lower[a] = False
+        lb_min[lower] = lb_row[lower]
+        lb_arg[lower] = a
+    return merges, bounds, end_bound
+
+
+def _component_linkage_known(
+    work: np.ndarray, cap: float
+) -> Tuple[List[Tuple[float, int, int]], List[float], float]:
+    """:func:`_component_linkage` for a fully-known component.
+
+    With every internal pair stored there are no internal lower bounds
+    (the bound matrix stays ``inf`` throughout), so the certified
+    sequence only checks heights against ``cap``.  Dropping the bound
+    bookkeeping roughly halves the per-merge work; every remaining
+    scalar operation — selection, tie-breaks, the fused Lance-Williams
+    update, cache maintenance — is the full loop's exact sequence, so
+    the merge triples are identical.
+    """
+    m = work.shape[0]
+    sizes = np.ones(m)
+    active = np.ones(m, dtype=bool)
+    row_min = work.min(axis=1)
+    row_arg = np.argmin(work, axis=1)
+
+    merges: List[Tuple[float, int, int]] = []
+    bounds: List[float] = []
+    inf = float("inf")
+    n_active = m
+    while n_active > 1:
+        # Dead rows carry inf in row_min, so the raw argmin matches the
+        # full loop's masked selection (ties toward the lowest slot).
+        a = int(np.argmin(row_min))
+        gmin = float(row_min[a])
+        if not gmin < cap - EXACTNESS_MARGIN:
+            return merges, bounds, gmin
+        b = int(row_arg[a])
+        bounds.append(inf)
+        merges.append((gmin, a, b))
+
+        size_a, size_b = float(sizes[a]), float(sizes[b])
+        total = size_a + size_b
+        fused = (size_a * work[a] + size_b * work[b]) / total
+        fused[a] = np.inf
+        fused[b] = np.inf
+        sizes[a] = total
+        active[b] = False
+        n_active -= 1
+
+        work[a, :] = fused
+        work[:, a] = fused
+        work[b, :] = np.inf
+        work[:, b] = np.inf
+
+        arg = int(np.argmin(fused))
+        row_arg[a] = arg
+        row_min[a] = fused[arg]
+        row_min[b] = np.inf
+        rescan = active & ((row_arg == a) | (row_arg == b))
+        rescan[a] = False
+        for r in np.flatnonzero(rescan):
+            arg = int(np.argmin(work[r]))
+            row_arg[r] = arg
+            row_min[r] = work[r, arg]
+        tie = active & ~rescan & (work[:, a] == row_min) & (row_arg > a)
+        tie[a] = False
+        row_arg[tie] = a
+    return merges, bounds, inf
 
 
 @dataclass(frozen=True)
@@ -412,6 +876,44 @@ class IncrementalSilhouetteSweep:
         return float(s.mean())
 
 
+def _candidate_thresholds(
+    heights: np.ndarray,
+    n_leaves: int,
+    max_candidates: int,
+    min_cluster_fraction: float,
+    max_threshold: float,
+) -> Tuple[List[float], bool, np.ndarray]:
+    """Default candidate cut thresholds for a height-sorted merge array.
+
+    Quantiles of the positive merge heights, deduplicated and restricted
+    to conservative cuts: ``t <= max_threshold`` and at least
+    ``min_cluster_fraction * n_leaves`` clusters remaining.  Returns
+    ``(candidates, used_fallback, raw_quantiles)`` — when the filter
+    comes up empty, ``candidates`` is the single fallback cut
+    ``min(heights[0], max_threshold)`` and ``used_fallback`` is True.
+    ``raw_quantiles`` is the unfiltered quantile vector, which the
+    sparse path compares across placeholder substitutions to certify
+    the dense path would have produced the same list.
+    """
+    positive = heights[heights > 1e-12]
+    base = positive if positive.size else heights
+    quantiles = np.linspace(0.02, 1.0, max_candidates)
+    raw = np.array([float(np.quantile(base, q)) for q in quantiles])
+    candidates = sorted(set(raw.tolist()))
+    min_clusters = min_cluster_fraction * n_leaves
+    # clusters after cutting at t: n - (#merges with height <= t)
+    filtered = [
+        t
+        for t in candidates
+        if t <= max_threshold
+        and n_leaves - np.searchsorted(heights, t, side="right")
+        >= min_clusters
+    ]
+    if filtered:
+        return filtered, False, raw
+    return [min(float(heights[0]), max_threshold)], True, raw
+
+
 def evaluate_cuts(
     linkage: Linkage,
     distances: np.ndarray,
@@ -436,19 +938,13 @@ def evaluate_cuts(
     if heights.size == 0:
         return CutSelection(0.0, linkage.cut(0.0), 0.0, 0)
     if candidates is None:
-        positive = heights[heights > 1e-12]
-        base = positive if positive.size else heights
-        quantiles = np.linspace(0.02, 1.0, max_candidates)
-        candidates = sorted(set(float(np.quantile(base, q)) for q in quantiles))
-        n = linkage.n_leaves
-        min_clusters = min_cluster_fraction * n
-        # clusters after cutting at t: n - (#merges with height <= t)
-        candidates = [
-            t
-            for t in candidates
-            if t <= max_threshold
-            and n - np.searchsorted(heights, t, side="right") >= min_clusters
-        ] or [min(float(heights[0]), max_threshold)]
+        candidates, _, _ = _candidate_thresholds(
+            heights,
+            linkage.n_leaves,
+            max_candidates,
+            min_cluster_fraction,
+            max_threshold,
+        )
 
     # Score every distinct threshold in one ascending incremental sweep
     # (each merge is applied exactly once across all candidates), then pick
@@ -473,6 +969,173 @@ def evaluate_cuts(
         )
     return CutSelection(
         best[0], linkage.cut(best[0]), best[1], len(candidate_list)
+    )
+
+
+def evaluate_cuts_sparse(
+    linkage: Linkage,
+    operands: PairwiseOperands,
+    *,
+    plan: Optional[ExecutionPlan] = None,
+    dtype: str = "float64",
+    candidates: Optional[Sequence[float]] = None,
+    max_candidates: int = 24,
+    min_cluster_fraction: float = 0.33,
+    max_threshold: float = 0.25,
+) -> CutSelection:
+    """:func:`evaluate_cuts` over a certified sparse linkage, streaming.
+
+    Never materializes the dense distance matrix: per-point silhouettes
+    are recomputed tile by tile from the pairwise ``operands`` with
+    :func:`repro.perf.cut_silhouette_tile`, which replays the exact
+    permute / reduce scalar sequence
+    :func:`repro.core.silhouette.silhouette_samples` runs on the full
+    matrix — each candidate's score is the bitwise
+    :func:`~repro.core.silhouette.average_silhouette` of its labeling.
+    (:func:`evaluate_cuts` scores through the incremental sweep, whose
+    accumulation can differ in the last ulps; the end-to-end identity
+    tests pin that both paths *select* the same cut.)
+
+    Exactness is certified before any scoring:
+
+    * Default candidate generation depends on the merge-height quantiles,
+      and the sparse linkage only knows its certified prefix — dense
+      heights past ``exact_merges`` are somewhere in ``[height_floor,
+      1.0]``.  The candidate list is therefore generated twice, once
+      with the placeholder tail pinned at 1.0 and once pinned at the
+      floor.  Each quantile is monotone in every order statistic, so a
+      quantile the two runs agree on bit for bit is the dense value
+      (the dense heights are sandwiched coordinate-wise between the two
+      variants); a quantile they disagree on is only tolerated when its
+      floor-pinned value — a lower bound on the dense quantile — already
+      clears ``max_threshold``, i.e. the candidate filter discards it
+      for *any* dense tail.  The min-cluster filter is itself monotone
+      in the tail (the 1.0-pinned run can only over-retain, the
+      floor-pinned run only under-retain), so matching filtered lists
+      and fallback flags pin the dense list exactly.
+    * Every retained threshold must undercut ``height_floor`` by
+      :data:`EXACTNESS_MARGIN`: below the floor the merge prefix is
+      bitwise the dense path's, so the labels are too.
+
+    Any failed certificate raises
+    :class:`~repro.perf.BlockingExactnessError` rather than silently
+    approximating; callers then rerun with a larger ``blocking_bound``
+    or dense storage.
+    """
+    heights = linkage.heights()
+    if heights.size == 0:
+        return CutSelection(0.0, linkage.cut(0.0), 0.0, 0)
+    n = linkage.n_leaves
+    floor = linkage.height_floor
+    n_exact = linkage.exact_merges
+    certify_tail = n_exact < len(linkage.merges)
+
+    if candidates is None:
+        if certify_tail:
+            if not floor > 1e-12:
+                raise BlockingExactnessError(
+                    f"certification floor {floor} is not positive: the "
+                    "candidate quantile base cannot be certified; raise "
+                    "the blocking bound or use dense storage"
+                )
+            upper_list, fb_u, raw_u = _candidate_thresholds(
+                heights, n, max_candidates, min_cluster_fraction,
+                max_threshold,
+            )
+            lower = heights.copy()
+            lower[n_exact:] = floor
+            lower_list, fb_l, raw_l = _candidate_thresholds(
+                lower, n, max_candidates, min_cluster_fraction,
+                max_threshold,
+            )
+            disagree = raw_u != raw_l
+            if bool(
+                np.any(raw_l[disagree] <= max_threshold + EXACTNESS_MARGIN)
+            ) or upper_list != lower_list or fb_u != fb_l:
+                raise BlockingExactnessError(
+                    "candidate thresholds depend on uncertified merge "
+                    f"heights (floor {floor:.6f}, {n_exact} certified of "
+                    f"{len(linkage.merges)}); raise the blocking bound "
+                    "or use dense storage"
+                )
+            if fb_u and n_exact == 0:
+                raise BlockingExactnessError(
+                    "the fallback cut depends on the first merge height, "
+                    "which is not certified; raise the blocking bound "
+                    "or use dense storage"
+                )
+            candidates = upper_list
+        else:
+            candidates, _, _ = _candidate_thresholds(
+                heights, n, max_candidates, min_cluster_fraction,
+                max_threshold,
+            )
+
+    candidate_list = [float(t) for t in candidates]
+    if certify_tail:
+        uncertified = [
+            t for t in candidate_list if not t < floor - EXACTNESS_MARGIN
+        ]
+        if uncertified:
+            raise BlockingExactnessError(
+                f"cut threshold(s) {uncertified} do not provably "
+                f"undercut the certification floor {floor:.6f}; raise "
+                "the blocking bound or use dense storage"
+            )
+
+    # Labelings per distinct threshold (ascending — identical arrays to
+    # Linkage.cut), digested exactly as silhouette_samples digests
+    # labels.  Degenerate labelings score -1.0 without streaming.
+    distinct = sorted(set(candidate_list))
+    sweep = IncrementalCutSweep(linkage)
+    labels_of: Dict[float, np.ndarray] = {}
+    scores: Dict[float, float] = {}
+    digests = []
+    scored_thresholds = []
+    for threshold in distinct:
+        labels = sweep.labels_at(threshold)
+        labels_of[threshold] = labels
+        unique, compact = np.unique(labels, return_inverse=True)
+        k = unique.size
+        if k < 2 or k >= n:
+            scores[threshold] = -1.0
+            continue
+        counts = np.bincount(compact, minlength=k).astype(np.float64)
+        order = np.argsort(compact, kind="stable")
+        starts = np.zeros(k, dtype=np.intp)
+        starts[1:] = np.cumsum(counts[:-1]).astype(np.intp)
+        digests.append((compact, order, starts, counts))
+        scored_thresholds.append(threshold)
+
+    if digests:
+        cut_operands = CutScoringOperands(
+            pairwise=operands,
+            dtype=dtype,
+            compacts=tuple(d[0] for d in digests),
+            orders=tuple(d[1] for d in digests),
+            starts=tuple(d[2] for d in digests),
+            counts=tuple(d[3] for d in digests),
+        )
+        the_plan = plan if plan is not None else ExecutionPlan()
+        tiles = the_plan.tiles(n)
+        parts = list(the_plan.stream(cut_silhouette_tile, cut_operands, tiles))
+        samples = np.concatenate(parts, axis=1)
+        for index, threshold in enumerate(scored_thresholds):
+            scores[threshold] = float(samples[index].mean())
+
+    best: Tuple[float, float] = (0.0, -np.inf)
+    found = False
+    for threshold in candidate_list:
+        if scores[threshold] > best[1]:
+            best = (threshold, scores[threshold])
+            found = True
+    if not found:
+        threshold = float(np.median(heights))
+        return CutSelection(
+            threshold, linkage.cut(threshold), -1.0, len(candidate_list)
+        )
+    return CutSelection(
+        best[0], labels_of[best[0]], best[1], len(candidate_list)
     )
 
 

@@ -6,13 +6,18 @@ in :mod:`repro.perf.kernels` under an injectable
 opt-in) — results are bit-identical for any tile size or worker count.
 Dense float64 is the default; ``precision="float32"`` and
 ``storage="condensed"`` (strict upper triangle of ``total`` only) are
-opt-in footprint reducers.
+opt-in footprint reducers.  ``storage="sparse"`` (paired with
+``blocking="url"``) keeps only the entries surviving the blocking
+stage's certified screens — every absent pair provably has total
+distance >= the blocking bound (see :mod:`repro.perf.blocking`) — and
+stores them bitwise equal to the dense kernels' output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,15 +26,24 @@ from repro.core.records import WpnRecord
 from repro.core.textsim import SoftCosineModel
 from repro.core.urlsim import url_membership_operands
 from repro.perf import (
+    DEFAULT_SPARSE_BOUND,
+    BlockingStats,
     ExecutionPlan,
     PairwiseOperands,
+    SparsePairwise,
+    candidate_distance_tile,
     combined_distance_tile,
+    component_labels,
     condensed_size,
     condensed_to_square,
+    prune_cross_component,
 )
 
 PRECISIONS = ("float64", "float32")
-STORAGES = ("dense", "condensed")
+STORAGES = ("dense", "condensed", "sparse")
+BLOCKINGS = ("none", "url")
+
+Matrix = Union[np.ndarray, SparsePairwise]
 
 
 @dataclass
@@ -39,15 +53,39 @@ class DistanceMatrices:
     In the default dense storage, ``text``, ``url``, and ``total`` are all
     square. In condensed storage only ``total`` is kept, as the strict
     upper triangle (row-major, :mod:`repro.perf.condensed` layout) — pass
-    ``n`` to size it; ``text`` and ``url`` are ``None``.
+    ``n`` to size it; ``text`` and ``url`` are ``None``. In sparse
+    storage all three are :class:`~repro.perf.SparsePairwise` holding
+    only the blocking stage's certified entries (absent pairs provably
+    have total >= the blocking bound), sharing one index structure.
     """
 
-    text: Optional[np.ndarray]
-    url: Optional[np.ndarray]
-    total: np.ndarray
+    text: Optional[Matrix]
+    url: Optional[Matrix]
+    total: Matrix
     n: Optional[int] = None
+    #: Sparse storage only: the kernel operands the matrices were computed
+    #: from, retained so downstream stages (cut scoring) can recompute any
+    #: full distance tile bit-identically instead of densifying.
+    operands: Optional[PairwiseOperands] = None
+    #: Sparse storage only: blocking-stage accounting for tracer gauges.
+    blocking_stats: Optional[BlockingStats] = None
 
     def __post_init__(self):
+        if isinstance(self.total, SparsePairwise):
+            if self.n is None:
+                self.n = self.total.n
+            elif self.n != self.total.n:
+                raise ValueError("n does not match the sparse matrix")
+            for name in ("text", "url"):
+                matrix = getattr(self, name)
+                if matrix is not None and not (
+                    isinstance(matrix, SparsePairwise)
+                    and matrix.n == self.n
+                ):
+                    raise ValueError(
+                        f"{name} must be a SparsePairwise over n={self.n}"
+                    )
+            return
         if self.total.ndim == 2:
             if self.total.shape[0] != self.total.shape[1]:
                 raise ValueError("total distance matrix must be square")
@@ -79,29 +117,52 @@ class DistanceMatrices:
 
     @property
     def storage(self) -> str:
-        """``"dense"`` or ``"condensed"``, inferred from ``total``."""
+        """``"dense"``, ``"condensed"``, or ``"sparse"`` from ``total``."""
+        if isinstance(self.total, SparsePairwise):
+            return "sparse"
         return "condensed" if self.total.ndim == 1 else "dense"
 
     @property
     def component_bytes(self) -> int:
         """Bytes held by every materialized matrix (text + url + total)."""
-        return sum(
-            int(m.nbytes)
-            for m in (self.text, self.url, self.total)
-            if m is not None
-        )
+        total = 0
+        for m in (self.text, self.url, self.total):
+            if m is None:
+                continue
+            if isinstance(m, SparsePairwise):
+                # The three sparse components share one index structure;
+                # count it once (on total) and the values everywhere.
+                total += (
+                    m.component_bytes if m is self.total else int(m.data.nbytes)
+                )
+            else:
+                total += int(m.nbytes)
+        return total
 
     def total_square(self, dtype: Optional[np.dtype] = None) -> np.ndarray:
         """The combined distance as a square matrix.
 
         Dense storage returns ``total`` as-is (no copy) unless a different
-        ``dtype`` is requested; condensed storage expands.
+        ``dtype`` is requested; condensed storage expands.  Sparse storage
+        refuses: non-candidate entries are unknown (only bounded below),
+        so there is no dense matrix to return — oracle code that really
+        wants the candidate picture uses ``total.to_square(...)``.
         """
+        if isinstance(self.total, SparsePairwise):
+            raise TypeError(
+                "sparse storage cannot densify: absent distances are "
+                "unknown (>= the blocking bound); use the sparse-aware "
+                "sweeps, or SparsePairwise.to_square(fill) in oracle code"
+            )
         if self.total.ndim == 2:
             if dtype is None or self.total.dtype == np.dtype(dtype):
                 return self.total
             return self.total.astype(dtype)
-        return condensed_to_square(self.total, self.size, dtype=dtype)
+        # Sanctioned dense materialization: this method IS the explicit
+        # densify API.
+        return condensed_to_square(  # pushlint: disable=no-matrix-densify
+            self.total, self.size, dtype=dtype
+        )
 
 
 def compute_distances(
@@ -112,6 +173,8 @@ def compute_distances(
     plan: Optional[ExecutionPlan] = None,
     precision: str = "float64",
     storage: str = "dense",
+    blocking: str = "none",
+    blocking_bound: float = DEFAULT_SPARSE_BOUND,
 ) -> DistanceMatrices:
     """Full pairwise distances for a corpus of valid WPN records.
 
@@ -128,11 +191,27 @@ def compute_distances(
     yields bit-identical matrices. Every tile is computed in float64;
     ``precision="float32"`` casts on store. ``storage="condensed"`` keeps
     only the upper triangle of ``total`` (``text``/``url`` are ``None``).
+    ``storage="sparse"`` requires ``blocking="url"`` (and vice versa):
+    only the entries surviving the blocking stage's certified screens are
+    materialized, bitwise equal to the dense entries, with every absent
+    pair certified >= ``blocking_bound``.
     """
     if precision not in PRECISIONS:
         raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
     if storage not in STORAGES:
         raise ValueError(f"storage must be one of {STORAGES}, got {storage!r}")
+    if blocking not in BLOCKINGS:
+        raise ValueError(f"blocking must be one of {BLOCKINGS}, got {blocking!r}")
+    if (storage == "sparse") != (blocking == "url"):
+        raise ValueError(
+            "storage='sparse' and blocking='url' must be enabled together: "
+            "sparse storage holds exactly the candidate entries the "
+            "blocking stage certifies"
+        )
+    if not 0.0 < blocking_bound <= 0.5:
+        raise ValueError(
+            f"blocking_bound must be in (0, 0.5], got {blocking_bound}"
+        )
     if features is None:
         features = extract_all(records)
     if len(features) != len(records):
@@ -161,6 +240,71 @@ def compute_distances(
     n = len(records)
     dtype = np.float64 if precision == "float64" else np.float32
     tiles = plan.tiles(n)
+
+    if storage == "sparse":
+        counts_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        text_parts: List[np.ndarray] = []
+        url_parts: List[np.ndarray] = []
+        n_raw = 0
+        kernel = partial(candidate_distance_tile, bound=blocking_bound)
+        for counts, cols, text_vals, url_vals, raw in plan.stream(
+            kernel, operands, tiles
+        ):
+            counts_parts.append(counts)
+            cols_parts.append(cols)
+            text_parts.append(text_vals)
+            url_parts.append(url_vals)
+            n_raw += raw
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.concatenate(counts_parts), out=indptr[1:])
+        indices = (
+            np.concatenate(cols_parts)
+            if cols_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        text_data = np.concatenate(text_parts)
+        url_data = np.concatenate(url_parts)
+        # Assemble exactly as the dense branch does: float64 mean of the
+        # channels, then one cast on store.
+        total_data = ((text_data + url_data) / 2.0).astype(dtype)
+        candidate = SparsePairwise(
+            n, indptr, indices, total_data, bound=blocking_bound
+        )
+        # Keep only within-component entries of the sub-bound graph: the
+        # dropped entries are certifiably >= bound and can never influence
+        # a certified merge, so storage shrinks without weakening the
+        # absent-pair bound.
+        n_components, labels = component_labels(candidate)
+        keep, kept_indptr = prune_cross_component(candidate, labels)
+        stats = BlockingStats(
+            n=n,
+            n_candidate_pairs=n_raw,
+            n_stored_pairs=int(keep.sum()),
+            n_components=n_components,
+            max_component=(
+                int(np.bincount(labels).max()) if n else 0
+            ),
+        )
+        kept_indices = indices[keep]
+        return DistanceMatrices(
+            text=SparsePairwise(
+                n, kept_indptr, kept_indices, text_data[keep].astype(dtype),
+                bound=blocking_bound,
+            ),
+            url=SparsePairwise(
+                n, kept_indptr, kept_indices, url_data[keep].astype(dtype),
+                bound=blocking_bound,
+            ),
+            total=SparsePairwise(
+                n, kept_indptr, kept_indices, total_data[keep],
+                bound=blocking_bound,
+            ),
+            n=n,
+            operands=operands,
+            blocking_stats=stats,
+        )
+
     results = plan.stream(combined_distance_tile, operands, tiles)
 
     if storage == "dense":

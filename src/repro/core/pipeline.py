@@ -43,8 +43,10 @@ from repro.core.clustering import (
     CutSelection,
     Linkage,
     evaluate_cuts,
+    evaluate_cuts_sparse,
 )
 from repro.core.distance import (
+    BLOCKINGS,
     PRECISIONS,
     STORAGES,
     DistanceMatrices,
@@ -59,7 +61,7 @@ from repro.core.suspicious import SuspicionResult, find_suspicious
 from repro.core.textsim import SoftCosineModel
 from repro.core.verification import ManualVerificationOracle
 from repro.obs import Tracer
-from repro.perf import DEFAULT_TILE_SIZE, ExecutionPlan
+from repro.perf import DEFAULT_SPARSE_BOUND, DEFAULT_TILE_SIZE, ExecutionPlan
 
 
 @dataclass
@@ -236,10 +238,16 @@ class MinerConfig:
     changing *what* it computes: any tile size or worker count yields
     bit-identical matrices, while ``precision="float32"`` /
     ``storage="condensed"`` trade exactness for footprint (see
-    ``docs/PERFORMANCE.md``). ``crawl_workers`` does the same for the
-    crawl that *produces* a dataset: shards of container sessions fan out
-    to that many processes with byte-identical results for any value (the
-    CLI and benchmarks thread it into
+    ``docs/PERFORMANCE.md``). ``blocking="url"`` + ``storage="sparse"``
+    (the two imply each other) route the distance, linkage, and cut
+    stages through the exactness-certified candidate graph of
+    :mod:`repro.perf.blocking` — same merge sequence, threshold, and
+    labels as dense, without the O(n^2) matrices; ``blocking_bound``
+    sets the certification bound (every absent pair provably has total
+    distance >= it). ``crawl_workers`` does
+    the same for the crawl that *produces* a dataset: shards of container
+    sessions fan out to that many processes with byte-identical results
+    for any value (the CLI and benchmarks thread it into
     :func:`~repro.crawler.harvest.run_full_crawl`).
     """
 
@@ -256,6 +264,8 @@ class MinerConfig:
     crawl_workers: int = 1
     precision: str = "float64"
     storage: str = "dense"
+    blocking: str = "none"
+    blocking_bound: float = DEFAULT_SPARSE_BOUND
 
     def __post_init__(self) -> None:
         for name in (
@@ -280,6 +290,20 @@ class MinerConfig:
         if self.storage not in STORAGES:
             raise ValueError(
                 f"storage must be one of {STORAGES}, got {self.storage!r}"
+            )
+        if self.blocking not in BLOCKINGS:
+            raise ValueError(
+                f"blocking must be one of {BLOCKINGS}, got {self.blocking!r}"
+            )
+        if (self.storage == "sparse") != (self.blocking == "url"):
+            raise ValueError(
+                "storage='sparse' and blocking='url' must be enabled "
+                "together: sparse storage holds exactly the candidate "
+                "entries the blocking stage certifies"
+            )
+        if not 0.0 < self.blocking_bound <= 0.5:
+            raise ValueError(
+                f"blocking_bound must be in (0, 0.5], got {self.blocking_bound}"
             )
 
     @classmethod
@@ -431,14 +455,28 @@ class PushAdMiner:
         with self.tracer.span("pipeline.distances") as span:
             cfg = self.config
             plan = ExecutionPlan(workers=cfg.workers, tile_size=cfg.tile_size)
-            distances = compute_distances(
-                records,
-                features=features,
-                text_model=text_model if text_model is not None else self.text_model,
-                plan=plan,
-                precision=cfg.precision,
-                storage=cfg.storage,
-            )
+            with self.tracer.memory.measure() as mem:
+                distances = compute_distances(
+                    records,
+                    features=features,
+                    text_model=text_model if text_model is not None else self.text_model,
+                    plan=plan,
+                    precision=cfg.precision,
+                    storage=cfg.storage,
+                    blocking=cfg.blocking,
+                    blocking_bound=cfg.blocking_bound,
+                )
+            stats = distances.blocking_stats
+            if stats is not None:
+                with self.tracer.span("pipeline.blocking") as blocking_span:
+                    blocking_span.gauge("bound", cfg.blocking_bound)
+                    blocking_span.gauge(
+                        "candidate_pairs", stats.n_candidate_pairs
+                    )
+                    blocking_span.gauge("stored_pairs", stats.n_stored_pairs)
+                    blocking_span.gauge("pruning_ratio", stats.pruning_ratio)
+                    blocking_span.gauge("components", stats.n_components)
+                    blocking_span.gauge("max_component", stats.max_component)
             span.gauge("records", len(records))
             span.gauge("matrix_shape", distances.size)
             span.gauge("matrix_bytes", distances.component_bytes)
@@ -447,17 +485,31 @@ class PushAdMiner:
             span.gauge("workers", plan.workers)
             span.gauge("precision_bits", 32 if cfg.precision == "float32" else 64)
             span.gauge("condensed", int(cfg.storage == "condensed"))
+            if mem.peak_bytes is not None:
+                span.gauge("peak_bytes", mem.peak_bytes)
             return distances
 
     def stage_linkage(self, distances: DistanceMatrices) -> Linkage:
         """The average-linkage dendrogram over the combined distances."""
         with self.tracer.span("pipeline.linkage") as span:
-            linkage = AgglomerativeClusterer("average").fit(distances.total)
+            with self.tracer.memory.measure() as mem:
+                linkage = AgglomerativeClusterer("average").fit(distances.total)
             span.gauge("leaves", linkage.n_leaves)
             span.gauge("merges", len(linkage.merges))
-            # fit() works on a float64 square copy of the distance matrix
-            # (expanded in place when the input is condensed).
-            span.gauge("work_bytes", int(distances.size ** 2 * 8))
+            if distances.storage == "sparse":
+                # The sparse fit never builds the n x n matrix: its
+                # largest allocations are the per-component work + known
+                # mirrors of the biggest candidate component.
+                stats = distances.blocking_stats
+                largest = stats.max_component if stats is not None else 0
+                span.gauge("work_bytes", int(largest * largest * 8 * 2))
+                span.gauge("exact_merges", linkage.exact_merges)
+            else:
+                # fit() works on a float64 square copy of the distance
+                # matrix (expanded in place when the input is condensed).
+                span.gauge("work_bytes", int(distances.size ** 2 * 8))
+            if mem.peak_bytes is not None:
+                span.gauge("peak_bytes", mem.peak_bytes)
             return linkage
 
     def stage_cut(
@@ -470,20 +522,39 @@ class PushAdMiner:
         ``np.add.reduceat``) instead of rebuilding the labeling per cut.
         """
         with self.tracer.span("pipeline.cut") as span:
-            total = distances.total_square()
-            fixed = self.config.cut_threshold
-            if fixed is not None:
-                labels = linkage.cut(fixed)
-                score = average_silhouette(total, labels)
-                selection = CutSelection(fixed, labels, score, 1)
+            cfg = self.config
+            fixed = cfg.cut_threshold
+            if distances.storage == "sparse":
+                # Never densify: score candidates tile by tile from the
+                # retained kernel operands (bitwise the dense silhouette),
+                # with every threshold certified against the linkage's
+                # exactness floor.
+                assert distances.operands is not None
+                plan = ExecutionPlan(
+                    workers=cfg.workers, tile_size=cfg.tile_size
+                )
+                selection = evaluate_cuts_sparse(
+                    linkage,
+                    distances.operands,
+                    plan=plan,
+                    dtype=cfg.precision,
+                    candidates=[fixed] if fixed is not None else None,
+                )
+                span.gauge("matrix_bytes", distances.component_bytes)
             else:
-                selection = evaluate_cuts(linkage, total)
+                total = distances.total_square()
+                if fixed is not None:
+                    labels = linkage.cut(fixed)
+                    score = average_silhouette(total, labels)
+                    selection = CutSelection(fixed, labels, score, 1)
+                else:
+                    selection = evaluate_cuts(linkage, total)
+                span.gauge("matrix_bytes", int(total.nbytes))
             span.gauge("candidates_evaluated", selection.n_candidates)
             span.gauge("threshold", selection.threshold)
             span.gauge("silhouette", selection.score)
             span.gauge("clusters", int(selection.labels.max()) + 1)
             span.gauge("merges_swept", len(linkage.merges))
-            span.gauge("matrix_bytes", int(total.nbytes))
             span.gauge("workers", self.config.workers)
             return selection
 

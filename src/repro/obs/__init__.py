@@ -9,6 +9,11 @@ needs to know where time and memory go. ``repro.obs`` squares that circle:
   runs stay bit-identical; :class:`~repro.obs.clock.PerfClock` reads the
   host's monotonic performance counter and is the single call site the
   pushlint ``no-wallclock`` rule permits (``repro/obs/clock.py``).
+* :class:`~repro.obs.memory.MemoryMeter` does the same for allocation
+  peaks: the default :class:`~repro.obs.memory.NullMemoryMeter` measures
+  nothing (so no ``peak_bytes`` gauge appears and traces stay identical),
+  while :class:`~repro.obs.memory.TracemallocMeter` brackets the heavy
+  pipeline stages with :mod:`tracemalloc` for the benchmark harness.
 * :class:`~repro.obs.tracer.Tracer` records a nested span tree with
   per-span counters and gauges (record counts, matrix byte sizes, cluster
   counts, ...) around each pipeline/crawl stage.
@@ -21,6 +26,12 @@ analysis pipeline — can accept a ``tracer=`` without coupling upward.
 """
 
 from repro.obs.clock import Clock, NullClock, PerfClock
+from repro.obs.memory import (
+    MemoryMeter,
+    NullMemoryMeter,
+    PeakReading,
+    TracemallocMeter,
+)
 from repro.obs.reporters import (
     TRACE_SCHEMA,
     format_trace,
@@ -31,10 +42,14 @@ from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "Clock",
+    "MemoryMeter",
     "NullClock",
+    "NullMemoryMeter",
+    "PeakReading",
     "PerfClock",
     "Span",
     "TRACE_SCHEMA",
+    "TracemallocMeter",
     "Tracer",
     "format_trace",
     "trace_to_dict",

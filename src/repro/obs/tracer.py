@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.obs.clock import Clock, NullClock
+from repro.obs.memory import MemoryMeter, NullMemoryMeter
 
 Number = Union[int, float]
 
@@ -86,8 +87,16 @@ class Tracer:
     and never needs to know whether anyone is watching.
     """
 
-    def __init__(self, clock: Optional[Clock] = None, name: str = "trace"):
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        name: str = "trace",
+        memory: Optional[MemoryMeter] = None,
+    ):
         self.clock: Clock = clock if clock is not None else NullClock()
+        self.memory: MemoryMeter = (
+            memory if memory is not None else NullMemoryMeter()
+        )
         self.root = Span(name=name, start=self.clock.now())
         self._stack: List[Span] = [self.root]
 

@@ -11,12 +11,32 @@ O(n^2) stages on:
   similarity and URL-token Jaccard computed in row tiles, with every
   floating-point operation tile-size invariant;
 * :mod:`repro.perf.condensed` — condensed (upper-triangular) storage for
-  symmetric zero-diagonal distance matrices.
+  symmetric zero-diagonal distance matrices;
+* :mod:`repro.perf.blocking` — exactness-preserving candidate blocking:
+  an inverted URL-token index emitting candidate pairs in canonical
+  (i, j) order with a provable no-missed-pair bound (certified screens
+  guarantee total >= the blocking bound for every absent pair), plus
+  :class:`SparsePairwise` candidate-sparse storage whose stored entries
+  are bitwise equal to the dense kernels', and a streaming cut-scoring
+  kernel that reproduces the dense silhouette bit for bit in
+  O(tile * n) memory.
 
 The package sits below :mod:`repro.core` in the layering DAG: kernels only
 see numpy arrays and scipy sparse matrices, never records or models.
 """
 
+from repro.perf.blocking import (
+    DEFAULT_SPARSE_BOUND,
+    BlockingExactnessError,
+    BlockingStats,
+    CutScoringOperands,
+    SparsePairwise,
+    candidate_distance_tile,
+    candidate_pairs_tile,
+    component_labels,
+    cut_silhouette_tile,
+    prune_cross_component,
+)
 from repro.perf.condensed import (
     condensed_size,
     condensed_to_square,
@@ -36,15 +56,25 @@ from repro.perf.kernels import (
 from repro.perf.plan import DEFAULT_TILE_SIZE, ExecutionPlan, Tile, row_tiles
 
 __all__ = [
+    "DEFAULT_SPARSE_BOUND",
     "DEFAULT_TILE_SIZE",
+    "BlockingExactnessError",
+    "BlockingStats",
+    "CutScoringOperands",
     "ExecutionPlan",
     "PairwiseOperands",
     "QueryOperands",
+    "SparsePairwise",
     "Tile",
+    "candidate_distance_tile",
+    "candidate_pairs_tile",
     "combined_distance_tile",
+    "component_labels",
     "condensed_size",
     "condensed_to_square",
+    "cut_silhouette_tile",
     "jaccard_distance_tile",
+    "prune_cross_component",
     "query_distance_tile",
     "query_jaccard_distance_tile",
     "query_text_distance_tile",

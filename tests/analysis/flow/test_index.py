@@ -45,7 +45,11 @@ class TestRealTreeResolution:
         assert symbol.kind == "function"
         assert symbol.qualname == "PushAdMiner.stage_features"
 
-    def test_real_execution_plan_ship_site_is_found(self, src_index):
+    def test_real_execution_plan_ship_sites_are_found(self, src_index):
+        # compute_distances ships two kernels through plan.stream: the
+        # dense combined-distance tile and, on the sparse path, the
+        # blocking candidate kernel (wrapped in functools.partial to bind
+        # the bound — the index must see through the partial).
         ships = src_index.shipped_callables()
         stream_ships = [
             s
@@ -53,11 +57,24 @@ class TestRealTreeResolution:
             if s.site.method == "stream"
             and s.shipper == ("repro.core.distance", "compute_distances")
         ]
-        assert len(stream_ships) == 1
-        assert stream_ships[0].target == (
-            "repro.perf.kernels",
-            "combined_distance_tile",
-        )
+        assert len(stream_ships) == 2
+        targets = {s.target for s in stream_ships}
+        assert targets == {
+            ("repro.perf.kernels", "combined_distance_tile"),
+            ("repro.perf.blocking", "candidate_distance_tile"),
+        }
+
+    def test_sparse_cut_sweep_ship_site_is_found(self, src_index):
+        # The streaming cut sweep ships the silhouette kernel through a
+        # var-typed ExecutionPlan — the index must still see the ship.
+        ships = [
+            s
+            for s in src_index.shipped_callables()
+            if s.shipper == ("repro.core.clustering", "evaluate_cuts_sparse")
+        ]
+        assert [s.target for s in ships] == [
+            ("repro.perf.blocking", "cut_silhouette_tile")
+        ]
 
     def test_unresolved_externals_produce_no_edges(self, src_index):
         assert src_index.resolve_symbol("json.dumps") is None

@@ -1,9 +1,19 @@
-"""The parallel-purity pass on the synthetic fixture corpus."""
+"""The parallel-purity pass on the synthetic fixture corpus.
+
+Plus one real-tree regression: the sharded blocking kernels
+(``candidate_distance_tile``, ``cut_silhouette_tile``) must stay
+parallel-pure — they fan out over process pools, so any module-state
+write would silently break worker-count byte-identity.
+"""
+
+from pathlib import Path
 
 from repro.analysis import AnalysisEngine
 from repro.analysis.flow import run_flow
 
 from tests.analysis.flow.conftest import FIXTURES, flow_over, write_package
+
+SRC = Path(__file__).resolve().parents[3] / "src" / "repro"
 
 
 def purity_findings(result):
@@ -138,6 +148,23 @@ class TestSuppressionAtShipSite:
         assert purity, "finding must still be discovered"
         assert all(ff.suppressed for ff in purity)
         assert result.findings == []
+
+
+class TestRealTreeBlockingKernels:
+    def test_sharded_blocking_kernels_are_parallel_pure(self):
+        result = run_flow([SRC])
+        purity = [
+            ff
+            for ff in result.all_findings
+            if ff.finding.rule_id == "flow-parallel-purity"
+        ]
+        offenders = [
+            ff.finding
+            for ff in purity
+            if "candidate_distance_tile" in ff.finding.message
+            or "cut_silhouette_tile" in ff.finding.message
+        ]
+        assert offenders == [], [str(f) for f in offenders]
 
 
 def test_module_level_mutable_global_requires_global_decl(tmp_path):

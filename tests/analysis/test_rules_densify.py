@@ -42,6 +42,58 @@ class TestNoMatrixDensify:
         )
         assert findings == []
 
+    def test_flags_condensed_to_square_call(self):
+        findings = check_snippet(
+            NoMatrixDensifyRule(),
+            """
+            from repro.perf import condensed_to_square
+
+            def f(condensed, n):
+                return condensed_to_square(condensed, n)
+            """,
+        )
+        assert len(findings) == 1
+        assert "O(n^2)" in findings[0].message
+
+    def test_flags_attribute_qualified_call(self):
+        findings = check_snippet(
+            NoMatrixDensifyRule(),
+            """
+            import repro.perf as perf
+
+            def f(condensed, n):
+                return perf.condensed_to_square(condensed, n)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_import_and_reference_alone_are_fine(self):
+        # Only calls densify; importing or forwarding the function doesn't.
+        findings = check_snippet(
+            NoMatrixDensifyRule(),
+            """
+            from repro.perf import condensed_to_square
+
+            ORACLE_HELPERS = {"to_square": condensed_to_square}
+            """,
+        )
+        assert findings == []
+
+    def test_home_module_is_exempt(self):
+        findings = check_snippet(
+            NoMatrixDensifyRule(),
+            """
+            def square_to_condensed(square):
+                return square
+
+
+            def roundtrip(condensed, n):
+                return condensed_to_square(condensed, n)
+            """,
+            module="repro.perf.condensed",
+        )
+        assert findings == []
+
     def test_registered(self):
         assert NoMatrixDensifyRule in ALL_RULES
         assert NoMatrixDensifyRule.id == "no-matrix-densify"

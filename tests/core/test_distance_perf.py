@@ -122,4 +122,21 @@ class TestMinerConfigKnobs:
         with pytest.raises(ValueError):
             MinerConfig(precision="float16")
         with pytest.raises(ValueError):
-            MinerConfig(storage="sparse")
+            MinerConfig(storage="sparse")  # requires blocking="url"
+        with pytest.raises(ValueError):
+            MinerConfig(blocking="url")  # requires storage="sparse"
+        with pytest.raises(ValueError):
+            MinerConfig(blocking="lsh")
+        for bad_bound in (0.0, -0.1, 0.51):
+            with pytest.raises(ValueError):
+                MinerConfig(
+                    storage="sparse", blocking="url", blocking_bound=bad_bound
+                )
+
+    def test_sparse_knobs(self):
+        from repro.perf import DEFAULT_SPARSE_BOUND
+
+        cfg = MinerConfig(storage="sparse", blocking="url")
+        assert cfg.blocking_bound == DEFAULT_SPARSE_BOUND
+        tightened = cfg.replace(blocking_bound=0.5)
+        assert tightened.blocking_bound == 0.5

@@ -1,6 +1,11 @@
-"""Unit tests for the bench regression gate (no pipeline runs)."""
+"""Unit tests for the bench regression gates (no pipeline runs)."""
 
-from repro.bench import annotate_speedups, compare_reports
+from repro.bench import (
+    _growth_exponent,
+    annotate_speedups,
+    compare_reports,
+    compare_scale_reports,
+)
 
 
 def report(stages, summary=None):
@@ -55,6 +60,111 @@ class TestCompareReports:
         baseline = report([("pipeline.cut", 1.0)])
         fresh = report([("pipeline.cut", 1.0), ("pipeline.new", 9.0)])
         failures, lines = compare_reports(fresh, baseline)
+        assert failures == []
+        assert any("no baseline" in line for line in lines)
+
+
+def sweep_row(scale, n, wall, candidates=None, stored=None, peak=None):
+    all_pairs = n * (n - 1) // 2
+    return {
+        "scale": scale,
+        "n_records": n,
+        "wall_s": wall,
+        "distances_wall_s": wall / 4,
+        "peak_matrix_bytes": peak if peak is not None else n * n,
+        "candidate_pairs": (
+            candidates if candidates is not None else all_pairs // 4
+        ),
+        "stored_pairs": stored if stored is not None else all_pairs // 20,
+        "clusters": n // 3,
+    }
+
+
+def sweep_report(rows):
+    return {
+        "schema": "repro-bench-scale/1",
+        "scenario": {"seed": 7, "scales": [r["scale"] for r in rows]},
+        "rows": rows,
+        "growth": {
+            key: _growth_exponent(rows, key)
+            for key in ("wall_s", "peak_matrix_bytes", "candidate_pairs",
+                        "stored_pairs")
+        },
+    }
+
+
+class TestGrowthExponent:
+    def test_quadratic_counter_fits_two(self):
+        rows = [sweep_row(0.1, 100, 1.0, peak=100 * 100),
+                sweep_row(0.2, 400, 4.0, peak=400 * 400)]
+        assert _growth_exponent(rows, "peak_matrix_bytes") == 2.0
+
+    def test_linear_wall_fits_one(self):
+        rows = [sweep_row(0.1, 100, 1.0), sweep_row(0.2, 400, 4.0)]
+        assert _growth_exponent(rows, "wall_s") == 1.0
+
+    def test_degenerate_rows_yield_none(self):
+        assert _growth_exponent([sweep_row(0.1, 100, 1.0)], "wall_s") is None
+        flat = [sweep_row(0.1, 100, 1.0), sweep_row(0.2, 100, 2.0)]
+        assert _growth_exponent(flat, "wall_s") is None
+
+
+class TestCompareScaleReports:
+    def baseline(self):
+        return sweep_report(
+            [sweep_row(0.1, 1000, 0.5), sweep_row(0.2, 2000, 1.6)]
+        )
+
+    def test_identical_run_passes(self):
+        failures, lines = compare_scale_reports(self.baseline(), self.baseline())
+        assert failures == []
+        assert any("growth" in line for line in lines)
+
+    def test_counter_drift_fails(self):
+        fresh = self.baseline()
+        fresh["rows"][1]["stored_pairs"] += 1
+        failures, _ = compare_scale_reports(fresh, self.baseline())
+        assert any("stored_pairs drifted" in f for f in failures)
+
+    def test_wall_regression_fails(self):
+        fresh = self.baseline()
+        fresh["rows"][1]["wall_s"] = 16.0
+        failures, _ = compare_scale_reports(
+            fresh, self.baseline(), tolerance=0.5
+        )
+        assert any("regression" in f for f in failures)
+
+    def test_dense_fraction_ceiling_binds_even_with_matching_baseline(self):
+        # A degraded sweep committed as its own baseline still fails: the
+        # ceilings are absolute, not relative to the baseline.
+        rows = [
+            sweep_row(0.1, 1000, 0.5, candidates=1000 * 999 // 2),
+            sweep_row(0.2, 2000, 2.0, candidates=2000 * 1999 // 2),
+        ]
+        degraded = sweep_report(rows)
+        failures, _ = compare_scale_reports(degraded, degraded)
+        assert any("pruning collapsed" in f for f in failures)
+
+    def test_exponent_drift_above_trajectory_fails(self):
+        fresh = self.baseline()
+        # Same per-scale counters, but a steeper fitted candidate curve.
+        fresh["growth"]["candidate_pairs"] = (
+            self.baseline()["growth"]["candidate_pairs"] + 0.2
+        )
+        failures, _ = compare_scale_reports(fresh, self.baseline())
+        assert any("dense trajectory" in f for f in failures)
+
+    def test_missing_scale_fails(self):
+        fresh = sweep_report([sweep_row(0.1, 1000, 0.5)])
+        failures, _ = compare_scale_reports(fresh, self.baseline())
+        assert any("missing from run" in f for f in failures)
+
+    def test_new_scale_is_reported_not_failed(self):
+        fresh = sweep_report(
+            [sweep_row(0.1, 1000, 0.5), sweep_row(0.2, 2000, 1.6),
+             sweep_row(0.4, 4000, 5.0)]
+        )
+        failures, lines = compare_scale_reports(fresh, self.baseline())
         assert failures == []
         assert any("no baseline" in line for line in lines)
 
