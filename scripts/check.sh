@@ -13,8 +13,8 @@ step() {
     echo "==> $1"
 }
 
-step "pushlint (python -m repro.analysis src/repro)"
-python -m repro.analysis src/repro || failures=$((failures + 1))
+step "pushlint (python -m repro.analysis src/repro benchmarks)"
+python -m repro.analysis src/repro benchmarks || failures=$((failures + 1))
 
 # The whole-program passes run twice: a first (possibly cold) run that
 # warms the content-hash summary cache, then a timed cached run that must
@@ -42,6 +42,33 @@ if proc.returncode != 0:
     sys.exit(proc.returncode)
 if elapsed > budget:
     print(f"check.sh: cached --flow run blew the {budget:.0f}s budget")
+    sys.exit(1)
+PYEOF
+
+# The shape/dtype passes (symbolic extent + promotion + sort stability)
+# get their own isolated warm-cache budget: the scope construction and
+# the param-extent fixpoint must never come to dominate the gate.
+# Override with PUSHLINT_SHAPE_BUDGET (seconds).
+step "pushlint --flow shape passes (--select dense/promotion/order under ${PUSHLINT_SHAPE_BUDGET:-10}s budget)"
+python - "$flow_cache" "${PUSHLINT_SHAPE_BUDGET:-10}" <<'PYEOF' || failures=$((failures + 1))
+import subprocess, sys, time
+
+cache, budget = sys.argv[1], float(sys.argv[2])
+start = time.perf_counter()
+proc = subprocess.run(
+    [sys.executable, "-m", "repro.analysis", "--flow", "--select",
+     "flow-dense-alloc,flow-dtype-promotion,flow-unstable-order",
+     "--flow-cache", cache, "src/repro"],
+    capture_output=True, text=True,
+)
+elapsed = time.perf_counter() - start
+sys.stdout.write(proc.stdout)
+sys.stderr.write(proc.stderr)
+print(f"cached shape-pass run: {elapsed:.2f}s (budget {budget:.0f}s)")
+if proc.returncode != 0:
+    sys.exit(proc.returncode)
+if elapsed > budget:
+    print(f"check.sh: cached shape-pass run blew the {budget:.0f}s budget")
     sys.exit(1)
 PYEOF
 rm -f "$flow_cache"

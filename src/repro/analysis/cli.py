@@ -95,8 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
             "also run the whole-program passes: cross-module "
             "nondeterminism taint (flow-nondet-taint), parallel purity "
             "(flow-parallel-purity), shared-state races "
-            "(flow-shared-state-race) and unordered reductions "
-            "(flow-unordered-reduction)"
+            "(flow-shared-state-race), unordered reductions "
+            "(flow-unordered-reduction), quadratic dense allocations "
+            "(flow-dense-alloc), implicit dtype promotion "
+            "(flow-dtype-promotion) and tie-unstable sorts "
+            "(flow-unstable-order)"
         ),
     )
     parser.add_argument(

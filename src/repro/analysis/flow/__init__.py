@@ -25,24 +25,45 @@ the interprocedural layer:
 * :class:`~repro.analysis.flow.races.UnorderedReductionPass`
   (rule ``flow-unordered-reduction``) — reports completion-order and
   float-accumulation merges reaching an emit sink or ``stage_*``
-  boundary without a canonical sort.
+  boundary without a canonical sort;
+* :class:`~repro.analysis.flow.dense.DenseAllocPass`
+  (rule ``flow-dense-alloc``) — tracks symbolic array extents through
+  the :mod:`~repro.analysis.flow.shapes` abstract domain and certifies
+  no function in the sparse/parallel kernel region allocates a dense
+  array quadratic in the record count;
+* :class:`~repro.analysis.flow.promotion.DtypePromotionPass`
+  (rule ``flow-dtype-promotion``) — reports implicit float32/float64
+  mixes (including through returned arrays), int/int true division, and
+  Python-float accumulation on kernel-region-to-sink paths, with
+  ``precision``-knob branches modeled as sanctioned casts;
+* :class:`~repro.analysis.flow.ordering.UnstableOrderPass`
+  (rule ``flow-unstable-order``) — reports default-``kind`` argsorts,
+  single-key lexsorts, and float-keyed ``sorted()`` calls whose tie
+  order can reach a merge or emit sink.
 
 Run all of them via ``python -m repro.analysis --flow`` or
 :func:`run_flow`.
 """
 
 from repro.analysis.flow.cache import SummaryCache, ruleset_fingerprint
+from repro.analysis.flow.dense import DenseAllocPass
 from repro.analysis.flow.index import CallGraph, ProjectIndex
+from repro.analysis.flow.ordering import UnstableOrderPass
+from repro.analysis.flow.promotion import DtypePromotionPass
 from repro.analysis.flow.purity import ParallelPurityPass
 from repro.analysis.flow.races import SharedStateRacePass, UnorderedReductionPass
 from repro.analysis.flow.run import FlowResult, run_flow
+from repro.analysis.flow.scope import KernelScope
 from repro.analysis.flow.summary import FunctionSummary, ModuleSummary
 from repro.analysis.flow.taint import NondetTaintPass
 
 __all__ = [
     "CallGraph",
+    "DenseAllocPass",
+    "DtypePromotionPass",
     "FlowResult",
     "FunctionSummary",
+    "KernelScope",
     "ModuleSummary",
     "NondetTaintPass",
     "ParallelPurityPass",
@@ -50,6 +71,7 @@ __all__ = [
     "SharedStateRacePass",
     "SummaryCache",
     "UnorderedReductionPass",
+    "UnstableOrderPass",
     "ruleset_fingerprint",
     "run_flow",
 ]

@@ -32,6 +32,7 @@ from repro.analysis.flow.summary import (
     StateWrite,
     TaintSource,
 )
+from repro.analysis.flow.shapes import ShapeExtractor, function_roles
 from repro.analysis.rules.base import module_in
 from repro.analysis.rules.rng import NoUnseededRngRule
 from repro.analysis.rules.wallclock import WALLCLOCK_CALLS, NoWallclockRule
@@ -214,6 +215,8 @@ class _ModuleExtractor:
         )
         local = _LocalScope.of(node, class_name)
         self._infer_types(node, local)
+        shapes = ShapeExtractor(self, node, local)
+        fn.roles = function_roles(node, class_name, self._annotation_class)
 
         exempt_wallclock = module_in(
             self.module, NoWallclockRule.exempt_prefixes
@@ -223,7 +226,7 @@ class _ModuleExtractor:
         seen_reads: Set[Tuple[str, str]] = set()
         for inner in ast.walk(node):
             if isinstance(inner, ast.Call):
-                self._record_call(fn, inner, local)
+                self._record_call(fn, inner, local, shapes)
                 self._record_source(
                     fn, inner, local, exempt_wallclock, exempt_rng
                 )
@@ -234,21 +237,36 @@ class _ModuleExtractor:
                 self._record_write(fn, inner, local)
             elif isinstance(inner, (ast.Name, ast.Attribute)):
                 self._record_read(fn, inner, local, seen_reads)
+        shapes.collect(fn)
         return fn
 
     # -- calls ----------------------------------------------------------
     def _record_call(
-        self, fn: FunctionSummary, call: ast.Call, local: "_LocalScope"
+        self,
+        fn: FunctionSummary,
+        call: ast.Call,
+        local: "_LocalScope",
+        shapes: ShapeExtractor,
     ) -> None:
         ref = self._ref_of_expr(call.func, local)
         if ref is None:
             return
+        guards = shapes.guards_at(call)
         if ref == "functools.partial" or ref == "partial":
             inner = self._partial_target(call, local)
             if inner is not None:
-                fn.calls.append(CallSite(ref=inner, line=call.lineno))
+                fn.calls.append(
+                    CallSite(ref=inner, line=call.lineno, guards=guards)
+                )
             return
-        fn.calls.append(CallSite(ref=ref, line=call.lineno))
+        fn.calls.append(
+            CallSite(
+                ref=ref,
+                line=call.lineno,
+                guards=guards,
+                arg_classes=shapes.arg_classes(call),
+            )
+        )
 
     def _partial_target(
         self, call: ast.Call, local: "_LocalScope"

@@ -270,16 +270,25 @@ class ProjectIndex:
         return None
 
     def resolve_callable(self, ref: Optional[str]) -> Optional[FuncKey]:
-        """Like :meth:`resolve_symbol`, but classes become ``__init__``."""
+        """Like :meth:`resolve_symbol`, but classes become ``__init__``.
+
+        A class with no explicit ``__init__`` falls back to
+        ``__post_init__`` — the dataclass construction model, where
+        ``Linkage(...)`` runs the generated init and then the class's
+        own ``__post_init__`` body.
+        """
         symbol = self.resolve_symbol(ref)
         if symbol is None:
             return None
         if symbol.kind == "function":
             return symbol.key
-        init = self._resolve_method(
-            symbol.module, symbol.qualname, "__init__", 0
-        )
-        return init.key if init is not None else None
+        for ctor in ("__init__", "__post_init__"):
+            init = self._resolve_method(
+                symbol.module, symbol.qualname, ctor, 0
+            )
+            if init is not None:
+                return init.key
+        return None
 
     # ------------------------------------------------------------------
     # Derived structures

@@ -8,7 +8,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.finding import Finding
 from repro.analysis.flow.cache import SummaryCache
+from repro.analysis.flow.dense import DenseAllocPass
 from repro.analysis.flow.index import ProjectIndex
+from repro.analysis.flow.ordering import UnstableOrderPass
+from repro.analysis.flow.promotion import DtypePromotionPass
 from repro.analysis.flow.purity import ParallelPurityPass
 from repro.analysis.flow.races import SharedStateRacePass, UnorderedReductionPass
 from repro.analysis.flow.taint import FlowFinding, NondetTaintPass
@@ -37,7 +40,7 @@ def run_flow(
     index: Optional[ProjectIndex] = None,
     workers: int = 1,
 ) -> FlowResult:
-    """Run the taint + purity + race passes over a project.
+    """Run the taint + purity + race + shape/dtype passes over a project.
 
     ``rule_ids`` selects which passes run (``--select``/``--ignore``
     filtered by the CLI); ``cache`` enables the content-hash incremental
@@ -59,6 +62,12 @@ def run_flow(
         collected.extend(SharedStateRacePass(index, graph).run())
     if "flow-unordered-reduction" in rule_ids:
         collected.extend(UnorderedReductionPass(index, graph).run())
+    if "flow-dense-alloc" in rule_ids:
+        collected.extend(DenseAllocPass(index, graph).run())
+    if "flow-dtype-promotion" in rule_ids:
+        collected.extend(DtypePromotionPass(index, graph).run())
+    if "flow-unstable-order" in rule_ids:
+        collected.extend(UnstableOrderPass(index, graph).run())
     collected.sort(key=lambda ff: ff.finding)
 
     result = FlowResult(all_findings=collected, stats=index.stats())

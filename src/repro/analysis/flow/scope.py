@@ -1,0 +1,188 @@
+"""Interprocedural glue for the shape/dtype passes.
+
+Three pieces, all deterministic and all consuming only
+:class:`~repro.analysis.flow.index.ProjectIndex` facts:
+
+* :class:`KernelScope` — the *kernel region*: every function reachable
+  from a scale-path root. Roots are (a) callables shipped through an
+  ``ExecutionPlan`` (PR 4's ship sites), (b) targets of calls guarded by
+  a ``storage == "sparse"`` / ``isinstance(x, Sparse*)`` path condition,
+  (c) functions with a ``Sparse*``-annotated parameter, (d) methods of
+  ``Sparse*`` classes, and (e) the sanctioned densifier entry points.
+  A Theta(n^2) allocation matters exactly when it lives in this region —
+  dense-mode code outside it is allowed to be dense.
+
+* :func:`param_extents` — a join-over-call-sites fixpoint instantiating
+  each function parameter's extent class from what callers actually pass
+  (``helper(len(records))`` makes ``helper``'s ``n`` parameter ``big``),
+  so a dense allocation hidden behind a helper call is still classified.
+
+* :func:`resolve_dtype` — chases a deferred ``"call:<ref>"`` dtype atom
+  through callee ``returns_dtype`` facts, so a float32 array returned by
+  a helper still meets its float64 partner at the combination site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.flow.index import CallGraph, FuncKey, ProjectIndex
+from repro.analysis.flow.shapes import (
+    SPARSE_PATH_ATOMS,
+    join_extent,
+    name_extent_class,
+)
+
+_MAX_DTYPE_CHASE = 8
+
+_ROLE_REASONS = {
+    "sparse-param": "function with a Sparse*-typed parameter",
+    "sparse-class": "method of a Sparse* storage class",
+    "densifier": "sanctioned densifier entry point",
+}
+
+
+class KernelScope:
+    """Functions reachable from any sparse-path / shipped-kernel root.
+
+    ``members`` maps each in-scope function to ``(root, reason, path)``
+    where ``path`` is the shortest call path from the *first* root (in
+    sorted root order) that reaches it — deterministic, so findings and
+    their chains are byte-stable.
+    """
+
+    def __init__(self, index: ProjectIndex, graph: Optional[CallGraph] = None):
+        self.index = index
+        self.graph = graph if graph is not None else index.callgraph()
+        self.roots: List[Tuple[FuncKey, str]] = self._roots()
+        self.members: Dict[FuncKey, Tuple[FuncKey, str, Tuple[FuncKey, ...]]] = {}
+        for root, reason in self.roots:
+            for reached, path in sorted(self.graph.bfs_paths(root).items()):
+                self.members.setdefault(reached, (root, reason, path))
+
+    def __contains__(self, key: FuncKey) -> bool:
+        return key in self.members
+
+    def _roots(self) -> List[Tuple[FuncKey, str]]:
+        reasons: Dict[FuncKey, str] = {}
+
+        def add(key: Optional[FuncKey], reason: str) -> None:
+            if key is None:
+                return
+            current = reasons.get(key)
+            if current is None or reason < current:
+                reasons[key] = reason
+
+        for shipped in self.index.shipped_callables():
+            add(shipped.target, "ExecutionPlan-shipped kernel")
+        for module, fn in self.index.all_functions():
+            key: FuncKey = (module, fn.qualname)
+            for role in fn.roles:
+                reason = _ROLE_REASONS.get(role)
+                if reason is not None:
+                    add(key, reason)
+            for call in fn.calls:
+                if SPARSE_PATH_ATOMS.isdisjoint(call.guards):
+                    continue
+                add(
+                    self.index.resolve_callable(call.ref),
+                    f'storage="sparse"-path call from {module}.{fn.qualname}',
+                )
+        return sorted(reasons.items())
+
+
+def param_extents(
+    index: ProjectIndex, max_rounds: int = 32
+) -> Dict[FuncKey, Dict[str, str]]:
+    """Joined extent class of every function parameter, over all call sites.
+
+    Monotone fixpoint on the extent lattice: each call site joins its
+    positional argument classes into the callee's parameter environment,
+    with a caller's own ``param:<name>`` arguments resolved through the
+    caller's environment (so ``big`` propagates through wrapper layers).
+    """
+    env: Dict[FuncKey, Dict[str, str]] = {}
+    for module, fn in index.all_functions():
+        env[(module, fn.qualname)] = {p: "unknown" for p in fn.params}
+
+    callsites: List[Tuple[FuncKey, FuncKey, Tuple[str, ...], List[str]]] = []
+    for module, fn in index.all_functions():
+        for call in fn.calls:
+            if not call.arg_classes:
+                continue
+            callee = index.resolve_callable(call.ref)
+            if callee is None:
+                continue
+            callee_fn = index.function(callee)
+            if callee_fn is None or not callee_fn.params:
+                continue
+            callsites.append(
+                (
+                    (module, fn.qualname),
+                    callee,
+                    call.arg_classes,
+                    callee_fn.params,
+                )
+            )
+
+    for _ in range(max_rounds):
+        changed = False
+        for caller, callee, arg_classes, params in callsites:
+            caller_env = env.get(caller, {})
+            callee_env = env[callee]
+            for i, cls in enumerate(arg_classes):
+                if i >= len(params):
+                    break
+                if cls.startswith("param:"):
+                    cls = caller_env.get(cls[len("param:"):], "unknown")
+                joined = join_extent(callee_env[params[i]], cls)
+                if joined != callee_env[params[i]]:
+                    callee_env[params[i]] = joined
+                    changed = True
+        if not changed:
+            break
+    return env
+
+
+def resolve_extent(
+    cls: str, fn_env: Optional[Dict[str, str]]
+) -> str:
+    """Final class of one allocation dimension.
+
+    ``param:<name>`` resolves through the fixpoint environment; a
+    parameter no call site constrains falls back to the naming
+    convention (a helper named ``def grid(n):`` allocating ``(n, n)``
+    is quadratic by contract even before anyone calls it).
+    """
+    if not cls.startswith("param:"):
+        return cls
+    name = cls[len("param:"):]
+    resolved = (fn_env or {}).get(name, "unknown")
+    if resolved == "unknown":
+        return name_extent_class(name)
+    return resolved
+
+
+def resolve_dtype(
+    index: ProjectIndex, atom: str
+) -> Tuple[str, List[FuncKey]]:
+    """Resolve a dtype atom, chasing ``call:<ref>`` through return facts.
+
+    Returns the final atom plus every callee the chase went through (the
+    promotion pass uses them for kernel-region membership: a promotion is
+    "hidden through a returned array" when the returning helper is in
+    scope even if the combining function is not).
+    """
+    via: List[FuncKey] = []
+    for _ in range(_MAX_DTYPE_CHASE):
+        if not atom.startswith("call:"):
+            return atom, via
+        key = index.resolve_callable(atom[len("call:"):])
+        if key is None:
+            return "unknown", via
+        fn = index.function(key)
+        if fn is None:
+            return "unknown", via
+        via.append(key)
+        atom = fn.returns_dtype
+    return "unknown", via

@@ -19,22 +19,153 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.suppress import Suppressions
 
 #: Bump when the extraction format changes; stale cache entries are dropped.
-SUMMARY_VERSION = 2
+#: v3 added the symbolic shape/dtype facts (allocs, dtype events, sort
+#: events, call guards and argument extent classes) for the
+#: :mod:`repro.analysis.flow.shapes` passes.
+SUMMARY_VERSION = 3
 
 
 @dataclass(frozen=True)
 class CallSite:
-    """One resolved-enough call target inside a function body."""
+    """One resolved-enough call target inside a function body.
+
+    ``guards`` are the path-condition atoms active at the call (see
+    :mod:`repro.analysis.flow.shapes`), e.g. ``("storage==sparse",)`` for
+    a call inside an ``if storage == "sparse":`` branch — the dense-alloc
+    pass seeds sparse-path reachability from them. ``arg_classes`` are the
+    symbolic extent classes of the positional arguments, used to
+    instantiate a callee's parameter extents interprocedurally.
+    """
 
     ref: str  # dotted target, e.g. "repro.core.textsim.SoftCosineModel.fit"
     line: int
+    guards: Tuple[str, ...] = ()
+    arg_classes: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return {"ref": self.ref, "line": self.line}
+        return {
+            "ref": self.ref,
+            "line": self.line,
+            "guards": list(self.guards),
+            "arg_classes": list(self.arg_classes),
+        }
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "CallSite":
-        return cls(ref=str(d["ref"]), line=int(d["line"]))  # type: ignore[arg-type]
+        return cls(
+            ref=str(d["ref"]),
+            line=int(d["line"]),  # type: ignore[arg-type]
+            guards=tuple(str(g) for g in d.get("guards", ())),  # type: ignore[union-attr]
+            arg_classes=tuple(str(a) for a in d.get("arg_classes", ())),  # type: ignore[union-attr]
+        )
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One potentially-quadratic array allocation or broadcast.
+
+    Only allocations that *could* resolve to Theta(n^2) are recorded:
+    at least two dimensions whose extent class is ``big``/``quad`` or a
+    deferred ``param:<name>`` (resolved against call sites by the
+    dense-alloc pass), or any single ``quad`` dimension. ``guards`` carry
+    the path-condition atoms at the allocation so knob-guarded dense
+    branches (``if storage == "dense":``) are excluded.
+    """
+
+    what: str  # allocator ref, e.g. "numpy.zeros", "numpy.outer", "broadcast"
+    extents: Tuple[str, ...]  # display form per dimension, e.g. ("n", "n")
+    classes: Tuple[str, ...]  # extent class per dimension
+    line: int
+    line_text: str = ""  # stripped allocation line (finding fingerprints)
+    guards: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "what": self.what,
+            "extents": list(self.extents),
+            "classes": list(self.classes),
+            "line": self.line,
+            "line_text": self.line_text,
+            "guards": list(self.guards),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "AllocSite":
+        return cls(
+            what=str(d["what"]),
+            extents=tuple(str(e) for e in d.get("extents", ())),  # type: ignore[union-attr]
+            classes=tuple(str(c) for c in d.get("classes", ())),  # type: ignore[union-attr]
+            line=int(d["line"]),  # type: ignore[arg-type]
+            line_text=str(d.get("line_text", "")),
+            guards=tuple(str(g) for g in d.get("guards", ())),  # type: ignore[union-attr]
+        )
+
+
+@dataclass(frozen=True)
+class DtypeEvent:
+    """One dtype combination the promotion pass must adjudicate.
+
+    ``kind`` is ``"binop"`` for an arithmetic combination of two array
+    operands, ``"div"`` for a true-divide, ``"accum"`` for builtin
+    ``sum()`` over a float-valued generator/comprehension. ``left`` and
+    ``right`` are dtype atoms — ``"float32"``, ``"float64"``, ``"int"``,
+    or a deferred ``"call:<ref>"`` resolved through the callee's
+    ``returns_dtype`` — so a float32 array hidden behind a helper's
+    return value still meets its float64 partner here.
+    """
+
+    kind: str  # "binop" | "div" | "accum"
+    what: str  # display form, e.g. "emb * weights"
+    left: str
+    right: str
+    line: int
+    guards: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "what": self.what,
+            "left": self.left,
+            "right": self.right,
+            "line": self.line,
+            "guards": list(self.guards),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "DtypeEvent":
+        return cls(
+            kind=str(d["kind"]),
+            what=str(d["what"]),
+            left=str(d.get("left", "")),
+            right=str(d.get("right", "")),
+            line=int(d["line"]),  # type: ignore[arg-type]
+            guards=tuple(str(g) for g in d.get("guards", ())),  # type: ignore[union-attr]
+        )
+
+
+@dataclass(frozen=True)
+class SortEvent:
+    """One sort whose tie order is not reproducible.
+
+    ``kind`` is ``"unstable-argsort"`` (default-``kind`` ``np.argsort``/
+    ``np.sort``), ``"single-key-lexsort"`` (``np.lexsort`` with one key —
+    ties keep input order with no secondary key), or
+    ``"float-keyed-sort"`` (``sorted()``/``.sort()`` keyed on a float
+    with no total tiebreak).
+    """
+
+    kind: str
+    what: str  # display form, e.g. "numpy.argsort", "sorted(key=....score)"
+    line: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "what": self.what, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "SortEvent":
+        return cls(
+            kind=str(d["kind"]), what=str(d["what"]), line=int(d["line"])  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)
@@ -182,7 +313,15 @@ class ShipSite:
 
 @dataclass
 class FunctionSummary:
-    """Everything the passes need about one function or method."""
+    """Everything the passes need about one function or method.
+
+    ``params`` are the positional parameter names (``self``/``cls``
+    excluded) in declaration order, aligned against call-site
+    ``arg_classes`` by the dense-alloc pass; ``roles`` mark shape-scope
+    seeds (``"sparse-param"``, ``"sparse-class"``, ``"densifier"``);
+    ``returns_dtype`` is the joined dtype atom of the function's return
+    expressions (``"unknown"`` when mixed or untracked).
+    """
 
     qualname: str  # within the module: "f" or "Class.method"
     line: int
@@ -193,6 +332,12 @@ class FunctionSummary:
     reads: List[StateRead] = field(default_factory=list)
     ships: List[ShipSite] = field(default_factory=list)
     merges: List[MergeSource] = field(default_factory=list)
+    allocs: List[AllocSite] = field(default_factory=list)
+    dtype_events: List[DtypeEvent] = field(default_factory=list)
+    sorts: List[SortEvent] = field(default_factory=list)
+    params: List[str] = field(default_factory=list)
+    roles: List[str] = field(default_factory=list)
+    returns_dtype: str = "unknown"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -205,6 +350,12 @@ class FunctionSummary:
             "reads": [r.to_dict() for r in self.reads],
             "ships": [s.to_dict() for s in self.ships],
             "merges": [m.to_dict() for m in self.merges],
+            "allocs": [a.to_dict() for a in self.allocs],
+            "dtype_events": [e.to_dict() for e in self.dtype_events],
+            "sorts": [s.to_dict() for s in self.sorts],
+            "params": list(self.params),
+            "roles": list(self.roles),
+            "returns_dtype": self.returns_dtype,
         }
 
     @classmethod
@@ -219,6 +370,14 @@ class FunctionSummary:
             reads=[StateRead.from_dict(r) for r in d.get("reads", ())],  # type: ignore[union-attr]
             ships=[ShipSite.from_dict(s) for s in d.get("ships", ())],  # type: ignore[union-attr]
             merges=[MergeSource.from_dict(m) for m in d.get("merges", ())],  # type: ignore[union-attr]
+            allocs=[AllocSite.from_dict(a) for a in d.get("allocs", ())],  # type: ignore[union-attr]
+            dtype_events=[
+                DtypeEvent.from_dict(e) for e in d.get("dtype_events", ())  # type: ignore[union-attr]
+            ],
+            sorts=[SortEvent.from_dict(s) for s in d.get("sorts", ())],  # type: ignore[union-attr]
+            params=[str(p) for p in d.get("params", ())],  # type: ignore[union-attr]
+            roles=[str(r) for r in d.get("roles", ())],  # type: ignore[union-attr]
+            returns_dtype=str(d.get("returns_dtype", "unknown")),
         )
 
 

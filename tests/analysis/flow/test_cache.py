@@ -160,3 +160,55 @@ def test_parallel_cold_build_is_byte_identical(tmp_path):
                 indexes[workers].modules[module].to_dict()
                 == indexes[1].modules[module].to_dict()
             )
+
+
+def test_v2_summary_payload_is_wholesale_invalidated(tmp_path):
+    # Regression for the v3 schema bump: a cache whose entries carry
+    # version-2 summaries (written before the shape/dtype facts existed)
+    # has correct file hashes but lacks allocs/dtype_events/sorts — the
+    # per-summary version gate must reject every entry even if the
+    # envelope (cache version + ruleset fingerprint) were somehow valid.
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache = SummaryCache(cache_file)
+    ProjectIndex.build([pkg], cache=cache)
+    cache.save()
+
+    payload = json.loads(cache_file.read_text())
+    for entry in payload["entries"].values():
+        entry["summary"]["version"] = 2
+        for fn in entry["summary"].get("functions", {}).values():
+            for key in ("allocs", "dtype_events", "sorts", "params", "roles"):
+                fn.pop(key, None)
+    cache_file.write_text(json.dumps(payload))
+
+    index = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    assert index.parsed == 4
+    assert index.cached == 0
+
+
+def test_current_summary_version_is_v3():
+    from repro.analysis.flow.summary import SUMMARY_VERSION
+
+    assert SUMMARY_VERSION == 3
+
+
+def test_changed_rule_description_invalidates_wholesale(tmp_path, monkeypatch):
+    # The fingerprint folds in every registered rule's id + description,
+    # so adding a pass (or editing what one means) drops warm caches
+    # without any manual version bump.
+    import repro.analysis.rules as rules_mod
+    from repro.analysis.flow import ruleset_fingerprint
+
+    pkg = write_package(tmp_path, "cachepkg", PKG)
+    cache_file = tmp_path / "cache.json"
+    cache = SummaryCache(cache_file)
+    ProjectIndex.build([pkg], cache=cache)
+    cache.save()
+    before = ruleset_fingerprint()
+
+    monkeypatch.setattr(rules_mod, "ALL_RULES", rules_mod.ALL_RULES[:-1])
+    assert ruleset_fingerprint() != before
+    index = ProjectIndex.build([pkg], cache=SummaryCache(cache_file))
+    assert index.parsed == 4
+    assert index.cached == 0

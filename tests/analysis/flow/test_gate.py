@@ -1,9 +1,11 @@
-"""The tier-1 flow gate: ``src/repro`` is clean under all four flow passes.
+"""The tier-1 flow gate: ``src/repro`` is clean under all seven flow passes.
 
 Companion to ``tests/analysis/test_gate.py`` (the per-file gate): the
-whole-program taint, purity, race, and reduction passes must all report
-nothing on the real tree, so nondeterminism cannot hide behind a call
-hop — or behind the composition of two individually-clean kernels.
+whole-program taint, purity, race, reduction, dense-allocation, dtype-
+promotion, and sort-stability passes must all report nothing on the real
+tree, so neither nondeterminism nor a quadratic densification can hide
+behind a call hop — or behind the composition of two individually-clean
+kernels.
 """
 
 from pathlib import Path
@@ -25,7 +27,7 @@ def test_src_repro_has_zero_flow_findings():
     )
 
 
-def test_gate_exercises_all_four_passes():
+def test_gate_exercises_all_seven_passes():
     # The zero-findings gate only means something if every pass ran;
     # each flow rule id must be selected by default, including the race
     # and reduction passes.
@@ -34,6 +36,9 @@ def test_gate_exercises_all_four_passes():
         "flow-parallel-purity",
         "flow-shared-state-race",
         "flow-unordered-reduction",
+        "flow-dense-alloc",
+        "flow-dtype-promotion",
+        "flow-unstable-order",
     )
     result = run_flow([SRC])
     for rule_id in FLOW_RULE_IDS:
@@ -47,7 +52,9 @@ def test_no_sanctioned_flow_suppressions_accumulate():
     # Inline flow suppressions in src/repro are allowed but must stay
     # rare and deliberate; this ratchet stops silent accumulation.
     result = run_flow([SRC])
-    assert result.suppressed <= 2, (
+    # 2 legacy sites + the 4 sanctioned flow-dense-alloc densifier/
+    # component-budget sites added with the shape passes.
+    assert result.suppressed <= 6, (
         "unexpected growth in flow suppressions; justify or fix instead"
     )
 

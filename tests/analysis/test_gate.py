@@ -38,6 +38,21 @@ def test_src_repro_has_zero_findings():
     assert result.ok, "\n" + format_human(result)
 
 
+def test_benchmarks_and_scripts_have_zero_findings():
+    # The gate covers everything that ships or measures: benchmark
+    # drivers and repo scripts feed the paper's numbers too, so they hold
+    # to the same per-file ruleset as src/repro (no baseline either).
+    roots = [
+        path
+        for path in (REPO_ROOT / "benchmarks", REPO_ROOT / "scripts")
+        if path.exists() and any(path.rglob("*.py"))
+    ]
+    assert roots, "benchmarks/ must exist and contain Python files"
+    result = AnalysisEngine().run(roots)
+    assert result.files_checked >= 1
+    assert result.ok, "\n" + format_human(result)
+
+
 def test_no_baseline_file_is_checked_in():
     # The gate above runs baseline-free, but also make sure nobody quietly
     # parks debt in a committed baseline: it must stay absent or empty.
