@@ -226,6 +226,25 @@ else
     echo "no committed BENCH_serve.json; skipping"
 fi
 
+# Incremental stack: absorb a held-out batch against a base mine and
+# demand the delta stays a small fraction of a full re-mine. The smoke
+# run proves the harness; the committed BENCH_incremental.json gates the
+# absorb/full wall ratio (15% ceiling) plus assigned/opened/summary
+# determinism exactly like the other baselines.
+step "incremental smoke (python -m repro.bench --incremental --smoke)"
+incr_out="$(mktemp /tmp/bench_incr_smoke.XXXXXX.json)"
+python -m repro.bench --incremental --smoke --output "$incr_out" \
+    || failures=$((failures + 1))
+rm -f "$incr_out"
+
+step "incremental compare (python -m repro.bench --incremental --compare BENCH_incremental.json)"
+if [ -f BENCH_incremental.json ]; then
+    python -m repro.bench --incremental --compare BENCH_incremental.json \
+        || failures=$((failures + 1))
+else
+    echo "no committed BENCH_incremental.json; skipping"
+fi
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: FAILED ($failures step(s) failed)"

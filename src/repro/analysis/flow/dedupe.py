@@ -1,0 +1,94 @@
+"""Cross-layer dedupe: drop ``flow-dense-alloc`` echoes of per-file hits.
+
+``no-matrix-densify`` (syntactic, per-file) and ``flow-dense-alloc``
+(whole-program) guard the same contract from two sides: the per-file
+rule flags *callers of* a sanctioned densifier by name, while the flow
+pass follows the call into the densifier and reports the quadratic
+allocation inside it.  When both run in one invocation, a single
+densifying call therefore surfaces twice — once at the call site and
+once at the allocation the call reaches — and the second report adds
+review noise without adding information.
+
+:func:`drop_duplicate_dense_findings` keeps the per-file finding (the
+fast, caller-actionable path) and suppresses the flow finding whose
+allocation lives *inside a function the per-file rule already flagged a
+call to*.  The correlation is by callee name: the allocation-containing
+function is the last call-chain hop before the allocation entry, and the
+per-file finding's source line names the densifier it flagged.  Flow
+findings whose allocation is reached without a flagged densifier call
+(e.g. a quadratic ``np.zeros`` hidden in an unrelated helper) are
+untouched — the flow pass remains the stronger net.
+
+Dropped findings count as suppressions in the combined report, and only
+the merged CLI view is filtered: ``run_flow`` output (and therefore
+``--explain``, the flow gate's ratchet, and the goldens) still carries
+every flow finding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from repro.analysis.finding import Finding
+
+PER_FILE_RULE_ID = "no-matrix-densify"
+FLOW_RULE_ID = "flow-dense-alloc"
+
+#: Identifiers called on a per-file-flagged source line: ``name(`` for
+#: calls, plus ``.todense`` whether or not it is called.
+_CALLED_NAME = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+_TODENSE = re.compile(r"\.\s*todense\b")
+
+
+def _flagged_callees(finding: Finding) -> Iterable[str]:
+    """Densifier names a per-file finding's source line calls."""
+    line = finding.source_line or ""
+    for match in _CALLED_NAME.finditer(line):
+        yield match.group(1)
+    if _TODENSE.search(line):
+        yield "todense"
+
+
+def _alloc_function(finding: Finding) -> str:
+    """Bare name of the function containing a flow finding's allocation.
+
+    The chain is ``root hop, ..., containing function, allocation entry``;
+    each hop reads ``module.qualname (path:line)``, so the containing
+    function's bare name is the trailing dotted component before the
+    location parenthetical.  Findings without a two-hop chain (never
+    emitted by the dense pass) dedupe against nothing.
+    """
+    if len(finding.chain) < 2:
+        return ""
+    dotted = finding.chain[-2].split(" (")[0]
+    return dotted.rsplit(".", 1)[-1]
+
+
+def drop_duplicate_dense_findings(
+    flow_findings: List[Finding], per_file_findings: Iterable[Finding]
+) -> Tuple[List[Finding], int]:
+    """``(kept, dropped)``: flow findings minus per-file-covered echoes.
+
+    A ``flow-dense-alloc`` finding is dropped when its allocation lives
+    inside a function that an *active* ``no-matrix-densify`` finding
+    already flags a call to; everything else passes through unchanged,
+    in order.
+    """
+    callees = set()
+    for finding in per_file_findings:
+        if finding.rule_id == PER_FILE_RULE_ID:
+            callees.update(_flagged_callees(finding))
+    if not callees:
+        return list(flow_findings), 0
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in flow_findings:
+        if (
+            finding.rule_id == FLOW_RULE_ID
+            and _alloc_function(finding) in callees
+        ):
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped

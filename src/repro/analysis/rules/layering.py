@@ -8,7 +8,7 @@ strictly below it):
     util, obs  <  webenv  <  push  <  browser  <  adblock
     util, obs  <  blocklists  <  core
     perf  <  core
-    util, obs, perf, core  <  serve
+    util, obs, perf, core  <  serve  <  incremental
     perf, core, browser, push, webenv  <  crawler  <  experiments
 
 ``repro.util`` and ``repro.perf`` import nothing from repro (``perf`` is
@@ -44,6 +44,7 @@ _BELOW_EXPERIMENTS = frozenset(
         "perf",
         "core",
         "serve",
+        "incremental",
         "crawler",
     }
 )
@@ -61,6 +62,7 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "perf": frozenset(),
     "core": frozenset({"util", "obs", "blocklists", "perf"}),
     "serve": frozenset({"util", "obs", "perf", "core"}),
+    "incremental": frozenset({"util", "obs", "perf", "core", "serve"}),
     "crawler": frozenset(
         {"util", "obs", "webenv", "push", "browser", "core", "perf"}
     ),

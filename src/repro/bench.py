@@ -15,6 +15,17 @@ deterministic :mod:`repro.serve.loadgen` request mix against a
 ``BENCH_serve.json`` (p50/p99 latency, QPS, cache hit rate per thread
 count, plus the response checksum that must be identical across counts).
 
+``--incremental`` benchmarks :mod:`repro.incremental` instead: hold out the
+last 5% of the valid records, time a full batch mine of the union, then time
+one :meth:`~repro.incremental.IncrementalMiner.absorb` of the held-out batch
+against a base mine of the remainder, writing ``BENCH_incremental.json``
+(all three walls, the absorb/full ratio, assigned/opened counts, and the
+union summary).  The absorb wall crossing 15% of the full re-mine wall fails
+the run outright — with or without a baseline — whenever the full re-mine is
+long enough to gate (smoke scales only report the ratio), and the
+``--compare`` gate additionally pins the deterministic counts and summary
+exactly.
+
 ``--smoke`` runs a tiny scenario (for ``scripts/check.sh``) just to prove the
 harness end-to-end; the default scale matches ``benchmarks/``.
 
@@ -68,6 +79,29 @@ DEFAULT_SERVE_TOLERANCE = 0.50
 DEFAULT_SERVE_REQUESTS = 240
 SMOKE_SERVE_REQUESTS = 60
 SERVE_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+INCREMENTAL_SCHEMA = "repro-bench-incremental/1"
+DEFAULT_INCREMENTAL_BASELINE = "BENCH_incremental.json"
+DEFAULT_INCREMENTAL_SCALE = 0.25
+SMOKE_INCREMENTAL_SCALE = 0.03
+DEFAULT_BATCH_FRACTION = 0.05
+#: Hard ceiling: absorbing the held-out batch must cost under this
+#: fraction of a full re-mine of the union corpus.  The ceiling binds
+#: even without a baseline — crossing it means the delta path is
+#: re-paying the pipeline instead of computing only the delta.
+ABSORB_WALL_CEILING = 0.15
+#: The ratio is only gated when the full re-mine wall is at least this
+#: many seconds: below it (smoke scales) the absorb leg's fixed verdict
+#: cost dominates a noise-sized denominator and the ratio says nothing
+#: about scaling.  At the committed scale 0.25 the full mine is ~3.4s.
+MIN_GATED_FULL_WALL = 1.0
+#: Wall tolerance for the incremental compare gate (absorb walls are
+#: sub-second, so noisier than amortized stage walls).
+DEFAULT_INCREMENTAL_TOLERANCE = 0.50
+#: Deterministic keys the incremental gate pins against its baseline.
+_INCREMENTAL_EXACT_KEYS: Tuple[str, ...] = (
+    "n_base", "n_batch", "n_union", "assigned", "opened",
+)
 
 SCALE_SCHEMA = "repro-bench-scale/1"
 DEFAULT_SCALE_BASELINE = "BENCH_scale.json"
@@ -377,6 +411,183 @@ def compare_scale_reports(
             )
         else:
             lines.append(note + f"  (baseline n^{float(base_exponent):.3f})")
+    return failures, lines
+
+
+def run_incremental_benchmark(
+    seed: int,
+    scale: float,
+    *,
+    batch_fraction: float = DEFAULT_BATCH_FRACTION,
+    workers: int = 1,
+    tile_size: Optional[int] = None,
+    storage: str = "sparse",
+    blocking: str = "url",
+    blocking_bound: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append-batch wall vs full re-mine wall; returns the report payload.
+
+    One crawl produces the union corpus; the last ``batch_fraction`` of
+    the valid records is held out as the append batch.  Three timed legs:
+    a full batch mine of the union (the cost the incremental path must
+    undercut), a base mine of the remainder, and one
+    :meth:`~repro.incremental.IncrementalMiner.absorb` of the held-out
+    batch.  ``walls.absorb_over_full`` is the headline ratio the
+    :data:`ABSORB_WALL_CEILING` gate enforces; ``assigned``/``opened``
+    and the union summary are deterministic and pinned by ``--compare``.
+    """
+    from repro.incremental import IncrementalMiner
+
+    config = paper_scenario(seed=seed, scale=scale)
+    dataset = run_full_crawl(config=config)
+    valid = dataset.valid_records
+    n_batch = max(1, int(round(len(valid) * batch_fraction)))
+    if n_batch >= len(valid):
+        raise ValueError(
+            f"batch fraction {batch_fraction} leaves no base corpus "
+            f"({len(valid)} valid records)"
+        )
+    base, batch = valid[:-n_batch], valid[-n_batch:]
+
+    overrides: Dict[str, Any] = dict(
+        workers=workers, storage=storage, blocking=blocking
+    )
+    if blocking_bound is not None:
+        overrides["blocking_bound"] = blocking_bound
+    if tile_size is not None:
+        overrides["tile_size"] = tile_size
+
+    full_tracer = Tracer(clock=PerfClock())
+    PushAdMiner.for_dataset(dataset, tracer=full_tracer, **overrides).run(
+        valid
+    )
+    full_tracer.finish()
+    full_span = full_tracer.root.find("pipeline")
+    assert full_span is not None
+
+    base_tracer = Tracer(clock=PerfClock())
+    base_miner = PushAdMiner.for_dataset(
+        dataset, tracer=base_tracer, **overrides
+    )
+    base_result = base_miner.run(base)
+    base_tracer.finish()
+    base_span = base_tracer.root.find("pipeline")
+    assert base_span is not None
+
+    absorb_tracer = Tracer(clock=PerfClock())
+    incremental = IncrementalMiner.from_result(
+        base_result, tracer=absorb_tracer
+    )
+    report = incremental.absorb(batch)
+    absorb_tracer.finish()
+    absorb_span = absorb_tracer.root.find("incremental.absorb")
+    assert absorb_span is not None
+
+    full_wall = full_span.duration
+    absorb_wall = absorb_span.duration
+    return {
+        "schema": INCREMENTAL_SCHEMA,
+        "scenario": {
+            "seed": seed, "scale": scale, "batch_fraction": batch_fraction,
+        },
+        "perf": {
+            "workers": base_miner.config.workers,
+            "tile_size": base_miner.config.tile_size,
+            "storage": base_miner.config.storage,
+            "blocking": base_miner.config.blocking,
+            "blocking_bound": base_miner.config.blocking_bound,
+        },
+        "walls": {
+            "full_remine_s": round(full_wall, 6),
+            "base_mine_s": round(base_span.duration, 6),
+            "absorb_s": round(absorb_wall, 6),
+            "absorb_over_full": (
+                round(absorb_wall / full_wall, 4) if full_wall > 0 else 0.0
+            ),
+        },
+        "n_base": len(base),
+        "n_batch": report.batch_size,
+        "n_union": report.corpus_size,
+        "assigned": report.assigned,
+        "opened": report.opened,
+        "candidate_pairs": report.n_candidates,
+        "scored_pairs": report.n_scored,
+        "summary": incremental.result().summary(),
+    }
+
+
+def compare_incremental_reports(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_INCREMENTAL_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """``(failures, report_lines)`` for an incremental run vs its baseline.
+
+    Hard, baseline-independent: the absorb/full wall ratio must stay
+    under :data:`ABSORB_WALL_CEILING` — the incremental path's whole
+    point is not re-paying the pipeline.  Hard, deterministic: the
+    corpus split, assigned/opened counts, and the union summary must
+    match the committed baseline exactly (same seed/scale must reproduce
+    the same clustering decisions).  Soft: the absorb wall regressing
+    more than ``tolerance`` fails like the per-stage gate.
+    """
+    failures: List[str] = []
+    lines: List[str] = []
+
+    walls = fresh["walls"]
+    ratio = float(walls["absorb_over_full"])
+    full_wall = float(walls["full_remine_s"])
+    gated = full_wall >= MIN_GATED_FULL_WALL
+    lines.append(
+        f"absorb {walls['absorb_s']:.3f}s / full re-mine "
+        f"{full_wall:.3f}s = {ratio:.1%} "
+        + (f"(ceiling {ABSORB_WALL_CEILING:.0%})" if gated
+           else "(below min gated full wall, ratio not gated)")
+    )
+    if gated and ratio > ABSORB_WALL_CEILING:
+        failures.append(
+            f"absorb wall is {ratio:.1%} of a full re-mine (ceiling "
+            f"{ABSORB_WALL_CEILING:.0%}): the delta path is re-paying "
+            "the pipeline"
+        )
+
+    for key in _INCREMENTAL_EXACT_KEYS:
+        if fresh.get(key) != baseline.get(key):
+            failures.append(
+                f"{key} drifted (determinism regression): "
+                f"{fresh.get(key)} vs baseline {baseline.get(key)}"
+            )
+    lines.append(
+        f"batch {fresh['n_batch']} records: {fresh['assigned']} assigned, "
+        f"{fresh['opened']} opened (union {fresh['n_union']})"
+    )
+    if fresh["summary"] != baseline.get("summary"):
+        drift = sorted(
+            k
+            for k in set(fresh["summary"]) | set(baseline.get("summary", {}))
+            if fresh["summary"].get(k) != baseline.get("summary", {}).get(k)
+        )
+        failures.append(
+            "union summary drifted from baseline (determinism regression): "
+            + ", ".join(drift)
+        )
+
+    base_walls = baseline.get("walls", {})
+    base_absorb = float(base_walls.get("absorb_s", 0.0))
+    if base_absorb > 0:
+        absorb = float(walls["absorb_s"])
+        note = (
+            f"absorb wall {absorb:.3f}s  baseline {base_absorb:.3f}s  "
+            f"x{absorb / base_absorb:.2f}"
+        )
+        if absorb > base_absorb * (1.0 + tolerance):
+            lines.append(note + "  REGRESSION")
+            failures.append(
+                f"absorb wall {absorb:.3f}s vs baseline {base_absorb:.3f}s "
+                f"(>{tolerance:.0%} regression)"
+            )
+        else:
+            lines.append(note)
     return failures, lines
 
 
@@ -725,6 +936,90 @@ def _run_scale_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _incremental_kwargs(perf: Dict[str, Any]) -> Dict[str, Any]:
+    return dict(
+        workers=int(perf.get("workers", 1)),
+        tile_size=perf.get("tile_size"),
+        storage=str(perf.get("storage", "sparse")),
+        blocking=str(perf.get("blocking", "url")),
+        blocking_bound=perf.get("blocking_bound"),
+    )
+
+
+def _run_incremental_compare(args: argparse.Namespace, tolerance: float) -> int:
+    baseline = _load_baseline(args.compare, required_key="walls")
+    if baseline is None:
+        print(f"no usable incremental baseline at {args.compare}; "
+              "nothing to compare")
+        return 1
+    scenario = baseline.get("scenario", {})
+    seed = int(scenario.get("seed", args.seed))
+    scale = float(scenario.get("scale", DEFAULT_INCREMENTAL_SCALE))
+    batch_fraction = float(
+        scenario.get("batch_fraction", DEFAULT_BATCH_FRACTION)
+    )
+    payload = run_incremental_benchmark(
+        seed=seed,
+        scale=scale,
+        batch_fraction=batch_fraction,
+        **_incremental_kwargs(baseline.get("perf", {})),
+    )
+    failures, lines = compare_incremental_reports(
+        payload, baseline, tolerance=tolerance
+    )
+    print(f"incremental bench compare vs {args.compare} "
+          f"(seed {seed}, scale {scale}, batch {batch_fraction:.0%}):")
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print(f"\nincremental bench compare: FAILED "
+              f"({len(failures)} issue(s))")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nincremental bench compare: ok")
+    return 0
+
+
+def _run_incremental(args: argparse.Namespace) -> int:
+    scale = args.scale
+    if scale is None:
+        scale = (
+            SMOKE_INCREMENTAL_SCALE if args.smoke
+            else DEFAULT_INCREMENTAL_SCALE
+        )
+    output = (
+        args.output if args.output is not None
+        else DEFAULT_INCREMENTAL_BASELINE
+    )
+    payload = run_incremental_benchmark(
+        seed=args.seed,
+        scale=scale,
+        batch_fraction=args.batch_fraction,
+        workers=args.workers,
+        tile_size=args.tile_size,
+        storage=args.storage if args.storage != "dense" else "sparse",
+        blocking=args.blocking if args.blocking != "none" else "url",
+        blocking_bound=args.blocking_bound,
+    )
+    walls = payload["walls"]
+    ratio = float(walls["absorb_over_full"])
+    with open(output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} (absorb {walls['absorb_s']:.3f}s vs full "
+          f"re-mine {walls['full_remine_s']:.3f}s = {ratio:.1%}; "
+          f"batch {payload['n_batch']}: {payload['assigned']} assigned, "
+          f"{payload['opened']} opened)")
+    if (
+        float(walls["full_remine_s"]) >= MIN_GATED_FULL_WALL
+        and ratio > ABSORB_WALL_CEILING
+    ):
+        print(f"incremental bench: FAILED — absorb wall is {ratio:.1%} of "
+              f"a full re-mine (ceiling {ABSORB_WALL_CEILING:.0%})")
+        return 1
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     scale = args.scale
     if scale is None:
@@ -770,6 +1065,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--serve", action="store_true",
                         help="benchmark the serving layer (snapshot build + "
                              "load generation) instead of the pipeline")
+    parser.add_argument("--incremental", action="store_true",
+                        help="benchmark incremental absorption: append-batch "
+                             "wall vs full re-mine wall (writes "
+                             f"{DEFAULT_INCREMENTAL_BASELINE}; fails when "
+                             "the ratio crosses "
+                             f"{ABSORB_WALL_CEILING:.0%})")
+    parser.add_argument("--batch-fraction", type=float,
+                        default=DEFAULT_BATCH_FRACTION,
+                        help="held-out append-batch fraction with "
+                             f"--incremental (default {DEFAULT_BATCH_FRACTION})")
     parser.add_argument("--requests", type=int, default=None,
                         help="load-generator request count with --serve "
                              f"(default {DEFAULT_SERVE_REQUESTS}, "
@@ -828,6 +1133,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.compare = DEFAULT_SCALE_BASELINE
             return _run_scale_compare(args, tolerance)
         return _run_scale_sweep(args)
+    if args.incremental:
+        if args.compare is not None:
+            tolerance = (
+                args.tolerance
+                if args.tolerance is not None
+                else DEFAULT_INCREMENTAL_TOLERANCE
+            )
+            if args.compare == DEFAULT_BASELINE:
+                args.compare = DEFAULT_INCREMENTAL_BASELINE
+            return _run_incremental_compare(args, tolerance)
+        return _run_incremental(args)
     if args.serve:
         if args.compare is not None:
             tolerance = (

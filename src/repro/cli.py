@@ -7,6 +7,9 @@ analyze      run the PushAdMiner pipeline over a records file (or a fresh
              crawl) and print Tables 3/4 + Figure 6
 snapshot     run the pipeline and export a repro-snapshot/1 artifact for
              the serving layer (query it with ``python -m repro.serve``)
+incremental  mine a base corpus, then absorb the held-out tail through
+             :mod:`repro.incremental` (optionally compacting) and report
+             the delta accounting
 experiments  run the side experiments (pilot, blocklist lag, revisit,
              double permission, quiet UI)
 detect       train + evaluate the malicious-WPN detector
@@ -215,6 +218,67 @@ def cmd_snapshot(args) -> int:
     return 0
 
 
+def cmd_incremental(args) -> int:
+    from repro.incremental import IncrementalMiner
+
+    if not 0.0 < args.batch_fraction < 1.0:
+        print("--batch-fraction must be in (0, 1)", file=sys.stderr)
+        return 2
+    tracer = _make_tracer(args)
+    dataset = _crawl_dataset(args, tracer)
+    valid = dataset.valid_records
+    n_tail = max(args.batches, int(round(len(valid) * args.batch_fraction)))
+    if n_tail >= len(valid):
+        print(f"batch fraction {args.batch_fraction} leaves no base corpus "
+              f"({len(valid)} valid records)", file=sys.stderr)
+        return 2
+    base, tail = valid[:-n_tail], valid[-n_tail:]
+
+    miner = PushAdMiner.for_dataset(
+        dataset, tracer=tracer, **_miner_overrides(args)
+    )
+    result = miner.run(base)
+    incremental = IncrementalMiner.from_result(result, tracer=tracer)
+
+    rows = []
+    per_batch = -(-len(tail) // args.batches)  # ceil
+    for start in range(0, len(tail), per_batch):
+        absorbed = incremental.absorb(tail[start:start + per_batch])
+        rows.append([
+            len(rows) + 1, absorbed.batch_size, absorbed.assigned,
+            absorbed.opened, absorbed.corpus_size,
+            absorbed.deferred_to_compaction,
+        ])
+    print(f"base mine: {len(base)} records -> "
+          f"{len(result.campaign_cluster_ids)} campaign clusters "
+          f"(cut {result.cut_threshold:.4f})")
+    print(report.render_table(
+        ["batch", "#records", "assigned", "opened", "corpus",
+         "deferred"], rows,
+    ))
+
+    if args.compact:
+        compacted = incremental.compact()
+        print(f"\ncompacted: full re-mine of {len(compacted.records)} "
+              f"records (cut {compacted.cut_threshold:.4f}); "
+              f"deferred count reset to "
+              f"{incremental.absorbed_since_compaction}")
+
+    print("\nunion summary")
+    summary = incremental.result().summary()
+    print(report.render_table(["metric", "value"], list(summary.items())))
+
+    if args.output:
+        from repro.serve import MinedSnapshot
+
+        snapshot = MinedSnapshot.from_result(incremental.result())
+        content_hash = snapshot.save(args.output)
+        print(f"\nwrote {args.output} ({snapshot.n_records} records, "
+              f"hash {content_hash})")
+    _emit_trace(tracer, args)
+    return 0
+
+
 class _FileBackedDataset:
     """Minimal dataset facade for analyze --records runs."""
 
@@ -336,6 +400,25 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--output", default="snapshot.json",
                           help="snapshot path (default snapshot.json)")
     snapshot.set_defaults(func=cmd_snapshot)
+
+    incremental = commands.add_parser(
+        "incremental",
+        help="mine a base corpus, then absorb the tail incrementally",
+    )
+    _add_scenario_args(incremental)
+    incremental.add_argument("--batch-fraction", type=float, default=0.05,
+                             help="fraction of the valid records held out "
+                                  "and absorbed incrementally (default 0.05)")
+    incremental.add_argument("--batches", type=int, default=1,
+                             help="number of absorb calls the held-out tail "
+                                  "is split across (default 1)")
+    incremental.add_argument("--compact", action="store_true",
+                             help="run a full compaction (exact re-mine of "
+                                  "the union) after the last batch")
+    incremental.add_argument("--output",
+                             help="also export the union state as a "
+                                  "repro-snapshot/1 artifact")
+    incremental.set_defaults(func=cmd_incremental)
 
     experiments = commands.add_parser("experiments", help="run side experiments")
     _add_scenario_args(experiments)

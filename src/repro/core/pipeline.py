@@ -65,6 +65,24 @@ from repro.perf import DEFAULT_SPARSE_BOUND, DEFAULT_TILE_SIZE, ExecutionPlan
 
 
 @dataclass
+class VerdictStages:
+    """Output bundle of :meth:`PushAdMiner.run_verdict_stages`.
+
+    The post-clustering half of the pipeline (campaigns → labeling →
+    meta clustering → suspicion) packaged as one deterministic unit so
+    callers that already hold a clustering — the incremental miner, cut
+    experiments — can refresh every verdict artifact in one call.
+    """
+
+    clusters: List[WpnCluster]
+    campaign_cluster_ids: Set[int]
+    labeling: LabelingResult
+    metas: List[MetaCluster]
+    suspicion: SuspicionResult
+    oracle: ManualVerificationOracle
+
+
+@dataclass
 class StageRow:
     """One row of Table 4."""
 
@@ -76,31 +94,23 @@ class StageRow:
     n_additional_malicious: int
 
 
-@dataclass
-class PipelineResult:
-    """Every artifact of one full pipeline run.
+class ResultSummaryMixin:
+    """Verdict bookkeeping and measurement tables over clustering output.
 
-    ``config`` and ``text_model`` are the snapshot export hooks: a
-    completed run carries the exact :class:`MinerConfig` it executed under
-    and the *fitted* :class:`~repro.core.textsim.SoftCosineModel`, so
-    ``repro.serve.MinedSnapshot.from_result`` can freeze everything a
-    query endpoint needs without re-running any stage.
+    Everything here is a pure function of the verdict-stage artifacts
+    (``records``, ``clusters``, ``campaign_cluster_ids``, ``labeling``,
+    ``metas``, ``suspicion``), so both :class:`PipelineResult` and
+    ``repro.incremental.IncrementalResult`` share one implementation —
+    the convergence contract between them covers these derived views for
+    free once the underlying artifacts match.
     """
 
     records: List[WpnRecord]
-    distances: DistanceMatrices
-    linkage: Linkage
-    cut_threshold: float
-    silhouette: float
-    labels: np.ndarray
     clusters: List[WpnCluster]
     campaign_cluster_ids: Set[int]
     labeling: LabelingResult
     metas: List[MetaCluster]
     suspicion: SuspicionResult
-    oracle: ManualVerificationOracle
-    config: MinerConfig = field(default_factory=lambda: MinerConfig())
-    text_model: Optional[SoftCosineModel] = None
 
     # ------------------------------------------------------------------
     # Ad / malicious bookkeeping
@@ -221,6 +231,33 @@ class PipelineResult:
             "suspicious_meta_clusters": len(self.suspicion.suspicious_meta_ids),
             "residual_singletons": len(self.residual_singleton_clusters),
         }
+
+
+@dataclass
+class PipelineResult(ResultSummaryMixin):
+    """Every artifact of one full pipeline run.
+
+    ``config`` and ``text_model`` are the snapshot export hooks: a
+    completed run carries the exact :class:`MinerConfig` it executed under
+    and the *fitted* :class:`~repro.core.textsim.SoftCosineModel`, so
+    ``repro.serve.MinedSnapshot.from_result`` can freeze everything a
+    query endpoint needs without re-running any stage.
+    """
+
+    records: List[WpnRecord]
+    distances: DistanceMatrices
+    linkage: Linkage
+    cut_threshold: float
+    silhouette: float
+    labels: np.ndarray
+    clusters: List[WpnCluster]
+    campaign_cluster_ids: Set[int]
+    labeling: LabelingResult
+    metas: List[MetaCluster]
+    suspicion: SuspicionResult
+    oracle: ManualVerificationOracle
+    config: MinerConfig = field(default_factory=lambda: MinerConfig())
+    text_model: Optional[SoftCosineModel] = None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -633,8 +670,35 @@ class PushAdMiner:
             return suspicion
 
     # ------------------------------------------------------------------
-    # The one-call driver
+    # The one-call drivers
     # ------------------------------------------------------------------
+    def run_verdict_stages(
+        self, records: Sequence[WpnRecord], labels: np.ndarray
+    ) -> VerdictStages:
+        """Campaigns → labeling → meta clustering → suspicion, as one unit.
+
+        Everything downstream of the clustering is a deterministic
+        function of ``(records, labels, config)``: the blocklist models
+        and the manual-verification oracle are rebuilt from the config
+        seed on every call, and the oracle's sequential draws replay the
+        labeling-then-suspicion order of :meth:`run` exactly.  The
+        incremental miner leans on this to recompute verdicts per
+        absorbed batch without any drift from a from-scratch run over
+        the same records and labels.
+        """
+        clusters, campaign_ids = self.stage_campaigns(records, labels)
+        labeling, oracle = self.stage_labeling(records, clusters)
+        metas = self.stage_metacluster(clusters)
+        suspicion = self.stage_suspicion(metas, labeling, oracle)
+        return VerdictStages(
+            clusters=clusters,
+            campaign_cluster_ids=campaign_ids,
+            labeling=labeling,
+            metas=metas,
+            suspicion=suspicion,
+            oracle=oracle,
+        )
+
     def run(self, records: Sequence[WpnRecord]) -> PipelineResult:
         """Analyze a corpus of *valid* WPN records end to end."""
         with self.tracer.span("pipeline") as span:
@@ -649,10 +713,7 @@ class PushAdMiner:
             distances = self.stage_distances(valid, features, model)
             linkage = self.stage_linkage(distances)
             cut = self.stage_cut(linkage, distances)
-            clusters, campaign_ids = self.stage_campaigns(valid, cut.labels)
-            labeling, oracle = self.stage_labeling(valid, clusters)
-            metas = self.stage_metacluster(clusters)
-            suspicion = self.stage_suspicion(metas, labeling, oracle)
+            verdicts = self.run_verdict_stages(valid, cut.labels)
 
             return PipelineResult(
                 records=list(valid),
@@ -661,12 +722,12 @@ class PushAdMiner:
                 cut_threshold=cut.threshold,
                 silhouette=cut.score,
                 labels=cut.labels,
-                clusters=clusters,
-                campaign_cluster_ids=campaign_ids,
-                labeling=labeling,
-                metas=metas,
-                suspicion=suspicion,
-                oracle=oracle,
+                clusters=verdicts.clusters,
+                campaign_cluster_ids=verdicts.campaign_cluster_ids,
+                labeling=verdicts.labeling,
+                metas=verdicts.metas,
+                suspicion=verdicts.suspicion,
+                oracle=verdicts.oracle,
                 config=self.config,
                 text_model=model,
             )

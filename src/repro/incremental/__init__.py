@@ -1,0 +1,29 @@
+"""Incremental mining: absorb new WPN batches without a full re-mine.
+
+The paper's measurement is a rolling crawl; ``repro.incremental`` gives
+the reproduction the matching always-on shape (ROADMAP item 1).  An
+:class:`IncrementalMiner` adopts a completed batch run (a
+:class:`~repro.core.pipeline.PipelineResult` or a saved
+:class:`~repro.serve.snapshot.MinedSnapshot`), absorbs new record batches
+by computing only the delta — frozen-model featurization plus
+query-vs-corpus distance kernels from :mod:`repro.perf` — and re-derives
+every verdict exactly.  Periodic :meth:`IncrementalMiner.compact` runs
+the full batch pipeline over the union, with a test-enforced convergence
+contract: the compacted state is bit-identical to a from-scratch mine.
+Anything the incremental path cannot keep exact raises
+:class:`IncrementalDriftError` rather than silently approximating.
+"""
+
+from repro.incremental.miner import (
+    AbsorbReport,
+    IncrementalDriftError,
+    IncrementalMiner,
+    IncrementalResult,
+)
+
+__all__ = [
+    "AbsorbReport",
+    "IncrementalDriftError",
+    "IncrementalMiner",
+    "IncrementalResult",
+]

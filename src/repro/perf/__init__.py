@@ -19,7 +19,11 @@ O(n^2) stages on:
   :class:`SparsePairwise` candidate-sparse storage whose stored entries
   are bitwise equal to the dense kernels', and a streaming cut-scoring
   kernel that reproduces the dense silhouette bit for bit in
-  O(tile * n) memory.
+  O(tile * n) memory;
+* :mod:`repro.perf.delta` — blocked query-vs-corpus delta kernels for
+  incremental mining: candidate-blocked per-query nearest-row search
+  whose assignment decisions below the certification bound match the
+  dense query kernels bit for bit.
 
 The package sits below :mod:`repro.core` in the layering DAG: kernels only
 see numpy arrays and scipy sparse matrices, never records or models.
@@ -36,6 +40,11 @@ from repro.perf.blocking import (
     component_labels,
     cut_silhouette_tile,
     prune_cross_component,
+)
+from repro.perf.delta import (
+    QueryNearest,
+    nearest_corpus_rows,
+    query_candidate_min_tile,
 )
 from repro.perf.condensed import (
     condensed_size,
@@ -63,6 +72,7 @@ __all__ = [
     "CutScoringOperands",
     "ExecutionPlan",
     "PairwiseOperands",
+    "QueryNearest",
     "QueryOperands",
     "SparsePairwise",
     "Tile",
@@ -74,7 +84,9 @@ __all__ = [
     "condensed_to_square",
     "cut_silhouette_tile",
     "jaccard_distance_tile",
+    "nearest_corpus_rows",
     "prune_cross_component",
+    "query_candidate_min_tile",
     "query_distance_tile",
     "query_jaccard_distance_tile",
     "query_text_distance_tile",

@@ -1,10 +1,14 @@
 """Content-hash keyed LRU response cache for :class:`ServeCore`.
 
-Keys are blake2b digests of ``(method, canonical query JSON)``; values are
-the *canonical JSON strings* of responses, never the response objects.
-Storing strings makes the cache-on/cache-off byte-identity guarantee
-trivial to audit: a hit replays exactly the bytes a fresh computation
-would re-serialize to, so caching can change latency but never content.
+Keys are blake2b digests of ``(snapshot content hash, method, canonical
+query JSON)``; values are the *canonical JSON strings* of responses,
+never the response objects.  Storing strings makes the cache-on/cache-off
+byte-identity guarantee trivial to audit: a hit replays exactly the bytes
+a fresh computation would re-serialize to, so caching can change latency
+but never content.  Salting every key with the snapshot's content hash
+makes a :meth:`ServeCore.refresh` hot-swap safe by construction: an entry
+computed against an older snapshot can never answer a query against a
+newer one, even if a clear were to race a concurrent store.
 
 The cache is guarded by a single lock (lookup + LRU reorder + counter
 update are one critical section), so a :mod:`repro.serve.loadgen` run can
@@ -21,9 +25,18 @@ from typing import Dict, Optional
 DEFAULT_CACHE_SIZE = 1024
 
 
-def response_cache_key(method: str, canonical_query: str) -> str:
-    """Cache key for one request: blake2b over method + canonical query."""
+def response_cache_key(
+    method: str, canonical_query: str, snapshot_hash: str = ""
+) -> str:
+    """Cache key for one request: blake2b over snapshot + method + query.
+
+    ``snapshot_hash`` is the serving snapshot's content hash; keys for
+    the same query against different snapshots never collide, which is
+    what makes stale entries unservable across a snapshot hot-swap.
+    """
     digest = hashlib.blake2b(digest_size=16)
+    digest.update(snapshot_hash.encode("utf-8"))
+    digest.update(b"\x00")
     digest.update(method.encode("utf-8"))
     digest.update(b"\x00")
     digest.update(canonical_query.encode("utf-8"))

@@ -24,8 +24,10 @@ ties break to the lowest corpus index (``np.argmin``); every response is
 canonical-JSON round-tripped before it is returned, so cached (string
 replay) and uncached (fresh compute) answers are the same bytes.
 
-The response cache is keyed by content hash of the canonical query (see
-:mod:`repro.serve.cache`).  Hit/miss counters surface two ways: as
+The response cache is keyed by content hash of the canonical query plus
+the serving snapshot's content hash (see :mod:`repro.serve.cache`), so a
+:meth:`ServeCore.refresh` hot-swap can never replay an answer computed
+against the previous snapshot.  Hit/miss counters surface two ways: as
 ``serve.*`` tracer spans when a tracer is injected (single-threaded use
 only — :class:`~repro.obs.Tracer` keeps a shared span stack), and via
 :meth:`cache_info` (thread-safe, used by the load generator).
@@ -35,9 +37,11 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import (
     Any,
     Dict,
+    FrozenSet,
     Iterator,
     List,
     Mapping,
@@ -58,7 +62,7 @@ from repro.perf import (
     query_distance_tile,
 )
 from repro.serve.cache import DEFAULT_CACHE_SIZE, ResponseCache, response_cache_key
-from repro.serve.snapshot import MinedSnapshot, canonical_json, decode_array
+from repro.serve.snapshot import MinedSnapshot, canonical_json
 from repro.util.domains import effective_second_level_domain
 from repro.util.textproc import tokenize_text, tokenize_url_path
 from repro.util.urls import Url
@@ -71,16 +75,52 @@ class UnknownCampaignError(KeyError):
     """:meth:`ServeCore.campaign` was asked about an id not in the snapshot."""
 
 
-def _rebuild_model(spec: Mapping[str, Any]) -> SoftCosineModel:
-    """The fitted text model, byte-exact from its snapshot section."""
-    model = SoftCosineModel(
-        dimensions=int(spec["dimensions"]), blend=float(spec["blend"])
+@dataclass(frozen=True)
+class ServingState:
+    """Everything :class:`ServeCore` derives from one snapshot, immutably.
+
+    One bundle per snapshot generation: methods capture the current state
+    once at entry and answer entirely from that capture, so a concurrent
+    :meth:`ServeCore.refresh` can swap the bundle atomically (one
+    attribute store, atomic under the GIL) without any request ever
+    observing a half-updated mix of two snapshots.
+    """
+
+    snapshot: MinedSnapshot
+    model: SoftCosineModel
+    url_vocabulary: Dict[str, int]
+    corpus: PairwiseOperands
+    suspicious_domains: FrozenSet[str]
+
+
+def _build_state(snapshot: MinedSnapshot) -> ServingState:
+    """Derive the immutable serving state from one snapshot."""
+    model = snapshot.restore_text_model()
+    records = snapshot.records
+    texts = [list(row["text_tokens"]) for row in records]
+    bow_normed, doc_emb, zero_rows = model.corpus_operands(texts)
+    url_lists = [list(row["url_tokens"]) for row in records]
+    # Token lists are stored sorted, so first-seen vocabulary order —
+    # and therefore every downstream sparse product — is process-stable.
+    url_vocabulary = url_token_vocabulary(url_lists)
+    member = url_membership_matrix(url_lists, url_vocabulary)
+    sizes = np.asarray(member.sum(axis=1)).ravel()
+    corpus = PairwiseOperands(
+        bow_normed=bow_normed,
+        doc_emb=doc_emb,
+        zero_rows=zero_rows,
+        blend=model.blend,
+        url_member=member,
+        url_sizes=sizes,
+        url_empty=sizes == 0,
     )
-    model.vocabulary = {
-        str(token): int(index) for token, index in spec["vocabulary"].items()
-    }
-    model.embeddings = decode_array(spec["embeddings"])
-    return model
+    return ServingState(
+        snapshot=snapshot,
+        model=model,
+        url_vocabulary=url_vocabulary,
+        corpus=corpus,
+        suspicious_domains=frozenset(snapshot.suspicious_domains),
+    )
 
 
 class ServeCore:
@@ -89,6 +129,7 @@ class ServeCore:
     ``workers`` / ``tile_size`` configure the classification kernel's
     :class:`ExecutionPlan` (any value is byte-identical); ``cache_size=0``
     disables the response cache; ``tracer`` opts into ``serve.*`` spans.
+    :meth:`refresh` hot-swaps a newer snapshot atomically.
     """
 
     def __init__(
@@ -100,28 +141,8 @@ class ServeCore:
         cache_size: int = DEFAULT_CACHE_SIZE,
         tracer: Optional[Tracer] = None,
     ):
-        self.snapshot = snapshot
-        self._model = _rebuild_model(snapshot.model)
+        self._state = _build_state(snapshot)
         self._tracer = tracer
-
-        records = snapshot.records
-        texts = [list(row["text_tokens"]) for row in records]
-        bow_normed, doc_emb, zero_rows = self._model.corpus_operands(texts)
-        url_lists = [list(row["url_tokens"]) for row in records]
-        # Token lists are stored sorted, so first-seen vocabulary order —
-        # and therefore every downstream sparse product — is process-stable.
-        self._url_vocabulary = url_token_vocabulary(url_lists)
-        member = url_membership_matrix(url_lists, self._url_vocabulary)
-        sizes = np.asarray(member.sum(axis=1)).ravel()
-        self._corpus = PairwiseOperands(
-            bow_normed=bow_normed,
-            doc_emb=doc_emb,
-            zero_rows=zero_rows,
-            blend=self._model.blend,
-            url_member=member,
-            url_sizes=sizes,
-            url_empty=sizes == 0,
-        )
 
         plan_kwargs: Dict[str, int] = {"workers": workers}
         if tile_size is not None:
@@ -130,7 +151,35 @@ class ServeCore:
         self._cache: Optional[ResponseCache] = (
             ResponseCache(maxsize=cache_size) if cache_size > 0 else None
         )
-        self._suspicious_domains = frozenset(snapshot.suspicious_domains)
+
+    @property
+    def snapshot(self) -> MinedSnapshot:
+        """The currently-served snapshot (the latest refreshed one)."""
+        return self._state.snapshot
+
+    def refresh(self, snapshot: MinedSnapshot) -> str:
+        """Atomically hot-swap a newer snapshot; returns its content hash.
+
+        The replacement state (model, corpus operands, vocabulary) is
+        built *before* the swap, so in-flight requests keep answering
+        from the old state and the swap itself is one atomic attribute
+        store — no request ever sees a mix of two snapshots.  The
+        response cache is cleared afterwards for hygiene, but staleness
+        does not depend on the clear: every cache key is salted with the
+        snapshot content hash (:func:`~repro.serve.cache.response_cache_key`),
+        so entries computed against the old snapshot are unreachable the
+        instant the swap lands, even from requests racing the clear.
+        """
+        with self._span("serve.refresh") as span:
+            state = _build_state(snapshot)
+            old_hash = self._state.snapshot.hash
+            self._state = state  # the atomic swap
+            if self._cache is not None:
+                self._cache.clear()
+            if span is not None:
+                span.gauge("records", snapshot.n_records)
+                span.gauge("replaced", int(old_hash != snapshot.hash))
+            return snapshot.hash
 
     # ------------------------------------------------------------------
     # Tracing / caching plumbing
@@ -144,10 +193,14 @@ class ServeCore:
                 yield span
 
     def _cache_fetch(
-        self, method: str, query_json: str
+        self, state: ServingState, method: str, query_json: str
     ) -> Tuple[str, Optional[Dict[str, Any]]]:
-        """``(key, decoded response or None)`` for one canonical query."""
-        key = response_cache_key(method, query_json)
+        """``(key, decoded response or None)`` for one canonical query.
+
+        The key is salted with ``state``'s snapshot hash, so a lookup can
+        only ever hit an entry computed against the same snapshot.
+        """
+        key = response_cache_key(method, query_json, state.snapshot.hash)
         if self._cache is None:
             return key, None
         cached = self._cache.get(key)
@@ -193,21 +246,24 @@ class ServeCore:
     def check_batch(self, urls: Sequence[str]) -> List[Dict[str, Any]]:
         """:meth:`check` for many URLs under one ``serve.check`` span."""
         with self._span("serve.check") as span:
+            state = self._state
             responses: List[Dict[str, Any]] = []
             hits = 0
             for url in urls:
                 query_json = canonical_json({"url": url})
-                key, cached = self._cache_fetch("check", query_json)
+                key, cached = self._cache_fetch(state, "check", query_json)
                 if cached is not None:
                     hits += 1
                     responses.append(cached)
                     continue
-                responses.append(self._cache_store(key, self._check_one(url)))
+                responses.append(
+                    self._cache_store(key, self._check_one(state, url))
+                )
             self._mark_span(span, len(urls), hits)
             return responses
 
-    def _check_one(self, url: str) -> Dict[str, Any]:
-        entry = self.snapshot.urls.get(url)
+    def _check_one(self, state: ServingState, url: str) -> Dict[str, Any]:
+        entry = state.snapshot.urls.get(url)
         try:
             etld1: Optional[str] = effective_second_level_domain(
                 Url.parse(url).host
@@ -226,7 +282,7 @@ class ServeCore:
             "cluster_ids": list(entry["cluster_ids"]) if entry else [],
             "landing_etld1": etld1,
             "suspicious_infrastructure": (
-                etld1 in self._suspicious_domains if etld1 else False
+                etld1 in state.suspicious_domains if etld1 else False
             ),
         }
 
@@ -246,6 +302,7 @@ class ServeCore:
     ) -> List[Dict[str, Any]]:
         """Batched nearest-campaign lookup: one kernel pass for all misses."""
         with self._span("serve.classify") as span:
+            state = self._state
             queries = [_normalize_wpn(w) for w in wpns]
             responses: List[Optional[Dict[str, Any]]] = [None] * len(queries)
             pending: List[Tuple[int, str, Dict[str, Any]]] = []
@@ -254,34 +311,36 @@ class ServeCore:
                 query_json = canonical_json(
                     {k: query[k] for k in ("title", "body", "landing_url")}
                 )
-                key, cached = self._cache_fetch("classify", query_json)
+                key, cached = self._cache_fetch(state, "classify", query_json)
                 if cached is not None:
                     hits += 1
                     responses[i] = cached
                 else:
                     pending.append((i, key, query))
             if pending:
-                distances = self._query_distances([q for _, _, q in pending])
+                distances = self._query_distances(
+                    state, [q for _, _, q in pending]
+                )
                 for row, (i, key, query) in zip(distances, pending):
                     responses[i] = self._cache_store(
-                        key, self._classify_one(query, row)
+                        key, self._classify_one(state, query, row)
                     )
             self._mark_span(span, len(queries), hits)
             return [r for r in responses if r is not None]
 
     def _query_distances(
-        self, queries: Sequence[Dict[str, Any]]
+        self, state: ServingState, queries: Sequence[Dict[str, Any]]
     ) -> np.ndarray:
         """``(q, n)`` combined distances, queries vs the snapshot corpus."""
         texts = [q["text_tokens"] for q in queries]
-        q_bow, q_emb, q_zero = self._model.corpus_operands(texts)
+        q_bow, q_emb, q_zero = state.model.corpus_operands(texts)
         url_lists = [q["url_tokens"] for q in queries]
-        q_member = url_membership_matrix(url_lists, self._url_vocabulary)
+        q_member = url_membership_matrix(url_lists, state.url_vocabulary)
         q_sizes = np.asarray(
             [len(tokens) for tokens in url_lists], dtype=np.float64
         )
         operands = QueryOperands(
-            corpus=self._corpus,
+            corpus=state.corpus,
             q_bow_normed=q_bow,
             q_doc_emb=q_emb,
             q_zero_rows=q_zero,
@@ -289,27 +348,31 @@ class ServeCore:
             q_url_sizes=q_sizes,
             q_url_empty=q_sizes == 0,
         )
-        n = self._corpus.n
+        n = state.corpus.n
         blocks = self._plan.run(
             query_distance_tile, operands, self._plan.tiles(n)
         )
         return np.concatenate(blocks, axis=1)
 
     def _classify_one(
-        self, query: Dict[str, Any], distances: np.ndarray
+        self,
+        state: ServingState,
+        query: Dict[str, Any],
+        distances: np.ndarray,
     ) -> Dict[str, Any]:
+        snapshot = state.snapshot
         nearest = int(np.argmin(distances))  # ties break to lowest index
         distance = float(distances[nearest])
-        record = self.snapshot.records[nearest]
-        assigned = distance <= self.snapshot.cut_threshold
-        campaign = self.snapshot.campaigns[str(record["cluster_id"])]
-        verdict = self.snapshot.verdicts[record["wpn_id"]]
+        record = snapshot.records[nearest]
+        assigned = distance <= snapshot.cut_threshold
+        campaign = snapshot.campaigns[str(record["cluster_id"])]
+        verdict = snapshot.verdicts[record["wpn_id"]]
         return {
             "schema": RESPONSE_SCHEMA,
             "kind": "classify",
             "assigned": assigned,
             "distance": distance,
-            "cut_threshold": self.snapshot.cut_threshold,
+            "cut_threshold": snapshot.cut_threshold,
             "nearest": {
                 "wpn_id": record["wpn_id"],
                 "cluster_id": int(record["cluster_id"]),
@@ -341,17 +404,18 @@ class ServeCore:
     def campaign(self, cluster_id: int) -> Dict[str, Any]:
         """The frozen dossier of one cluster; raises on unknown ids."""
         with self._span("serve.campaign") as span:
+            state = self._state
             query_json = canonical_json({"cluster_id": int(cluster_id)})
-            key, cached = self._cache_fetch("campaign", query_json)
+            key, cached = self._cache_fetch(state, "campaign", query_json)
             if cached is not None:
                 self._mark_span(span, 1, 1)
                 return cached
-            entry = self.snapshot.campaigns.get(str(int(cluster_id)))
+            entry = state.snapshot.campaigns.get(str(int(cluster_id)))
             if entry is None:
                 self._mark_span(span, 1, 0)
                 raise UnknownCampaignError(
                     f"no campaign/cluster {cluster_id} in snapshot "
-                    f"{self.snapshot.hash}"
+                    f"{state.snapshot.hash}"
                 )
             response = {
                 "schema": RESPONSE_SCHEMA,
@@ -364,7 +428,7 @@ class ServeCore:
     def stats(self) -> Dict[str, Any]:
         """Snapshot-wide headline numbers; never cached, no cache counters."""
         with self._span("serve.stats") as span:
-            snapshot = self.snapshot
+            snapshot = self._state.snapshot
             campaigns = snapshot.campaigns
             response = {
                 "schema": RESPONSE_SCHEMA,

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.core.features import extract_features
 from repro.core.pipeline import PipelineResult
+from repro.core.textsim import SoftCosineModel
 
 SNAPSHOT_SCHEMA = "repro-snapshot/1"
 
@@ -358,6 +359,24 @@ class MinedSnapshot:
     @property
     def n_records(self) -> int:
         return len(self.records)
+
+    def restore_text_model(self) -> SoftCosineModel:
+        """The fitted text model, byte-exact from the model section.
+
+        Shared by :class:`~repro.serve.core.ServeCore` (query distances)
+        and ``repro.incremental`` (frozen-model featurization of new
+        batches): both must reproduce the training-time numbers exactly.
+        """
+        spec = self.model
+        model = SoftCosineModel(
+            dimensions=int(spec["dimensions"]), blend=float(spec["blend"])
+        )
+        model.vocabulary = {
+            str(token): int(index)
+            for token, index in spec["vocabulary"].items()
+        }
+        model.embeddings = decode_array(spec["embeddings"])
+        return model
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,96 @@
+"""Cross-layer dedupe of ``flow-dense-alloc`` vs ``no-matrix-densify``.
+
+Unit-level: synthetic findings shaped exactly like the two rules emit
+them.  The integration hook (``--flow`` merging in the CLI) is covered
+by ``test_cli_flow``'s end-to-end runs staying clean.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.flow.dedupe import drop_duplicate_dense_findings
+
+
+def _per_file(source_line, rule_id="no-matrix-densify"):
+    return Finding(
+        path="src/repro/core/distance.py",
+        line=10,
+        column=5,
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        message="caller-side densify",
+        source_line=source_line,
+    )
+
+
+def _flow(containing="repro.perf.condensed.condensed_to_square",
+          rule_id="flow-dense-alloc"):
+    return Finding(
+        path="src/repro/perf/condensed.py",
+        line=42,
+        column=1,
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        message="O(n^2) allocation",
+        source_line="out = np.zeros((n, n))",
+        chain=(
+            "repro.core.distance.densify (src/repro/core/distance.py:10)",
+            f"{containing} (src/repro/perf/condensed.py:30)",
+            "allocation np.zeros((n:big, n:big)) "
+            "(src/repro/perf/condensed.py:42)",
+        ),
+    )
+
+
+def test_flow_echo_of_flagged_callee_is_dropped():
+    flow = [_flow()]
+    per_file = [_per_file("square = condensed_to_square(condensed, n)")]
+    kept, dropped = drop_duplicate_dense_findings(flow, per_file)
+    assert kept == [] and dropped == 1
+
+
+def test_todense_attribute_matches_without_a_call():
+    flow = [_flow(containing="repro.perf.sparsemat.Matrix.todense")]
+    per_file = [_per_file("dense = matrix.todense")]
+    kept, dropped = drop_duplicate_dense_findings(flow, per_file)
+    assert kept == [] and dropped == 1
+
+
+def test_unrelated_allocation_survives():
+    # A quadratic allocation reached without any flagged densifier call:
+    # the flow pass stays the stronger net.
+    flow = [_flow(containing="repro.perf.kernels.hidden_helper")]
+    per_file = [_per_file("square = condensed_to_square(condensed, n)")]
+    kept, dropped = drop_duplicate_dense_findings(flow, per_file)
+    assert kept == flow and dropped == 0
+
+
+def test_no_per_file_findings_passes_everything_through():
+    flow = [_flow()]
+    kept, dropped = drop_duplicate_dense_findings(flow, [])
+    assert kept == flow and dropped == 0
+
+
+def test_other_rules_never_correlate():
+    flow = [_flow(rule_id="flow-dtype-promotion")]
+    per_file = [_per_file("square = condensed_to_square(condensed, n)")]
+    kept, dropped = drop_duplicate_dense_findings(flow, per_file)
+    assert kept == flow and dropped == 0
+
+    flow = [_flow()]
+    other_rule = [_per_file(
+        "square = condensed_to_square(condensed, n)", rule_id="no-walrus"
+    )]
+    kept, dropped = drop_duplicate_dense_findings(flow, other_rule)
+    assert kept == flow and dropped == 0
+
+
+def test_order_of_kept_findings_is_preserved():
+    survivor_a = _flow(containing="repro.perf.kernels.helper_a")
+    echo = _flow()
+    survivor_b = _flow(containing="repro.perf.kernels.helper_b")
+    per_file = [_per_file("square = condensed_to_square(condensed, n)")]
+    kept, dropped = drop_duplicate_dense_findings(
+        [survivor_a, echo, survivor_b], per_file
+    )
+    assert kept == [survivor_a, survivor_b] and dropped == 1

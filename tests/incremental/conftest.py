@@ -1,0 +1,46 @@
+"""Incremental-suite fixtures: a base mine over most of the shared corpus.
+
+The shared ``small_dataset`` (seed 8, scale 0.03) is split once: the last
+``HOLDOUT`` valid records form the append batch, the rest are mined into
+the base state every test adopts.  Mining is the expensive part, so the
+base result is module-agnostic and session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MinerConfig, PushAdMiner
+
+HOLDOUT = 24
+
+
+@pytest.fixture(scope="session")
+def split(small_dataset):
+    valid = small_dataset.valid_records
+    assert len(valid) > 4 * HOLDOUT
+    return valid[:-HOLDOUT], valid[-HOLDOUT:]
+
+
+@pytest.fixture(scope="session")
+def base_records(split):
+    return split[0]
+
+
+@pytest.fixture(scope="session")
+def batch_records(split):
+    return split[1]
+
+
+@pytest.fixture(scope="session")
+def base_result(base_records, small_dataset):
+    config = MinerConfig(seed=small_dataset.config.seed)
+    return PushAdMiner(config).run(base_records)
+
+
+@pytest.fixture(scope="session")
+def sparse_base_result(base_records, small_dataset):
+    config = MinerConfig(
+        seed=small_dataset.config.seed, storage="sparse", blocking="url"
+    )
+    return PushAdMiner(config).run(base_records)

@@ -1,0 +1,142 @@
+"""Absorption behavior: accounting, assignment semantics, invariances.
+
+The bit-identity convergence contract lives in ``test_convergence``;
+here the per-batch mechanics are pinned: report arithmetic, label
+assignment vs singleton opening, sparse/dense and worker invariance,
+snapshot round-trips, and the ``incremental.*`` observability spans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.incremental import IncrementalMiner
+from repro.obs import Tracer
+from repro.serve import MinedSnapshot
+
+
+@pytest.fixture()
+def miner(base_result):
+    return IncrementalMiner.from_result(base_result)
+
+
+def test_report_accounting(miner, base_records, batch_records):
+    report = miner.absorb(batch_records)
+    assert report.batch_size == len(batch_records)
+    assert report.assigned + report.opened == report.batch_size
+    assert report.corpus_size == len(base_records) + len(batch_records)
+    assert report.deferred_to_compaction == len(batch_records)
+    assert miner.n_records == report.corpus_size
+    assert miner.absorbed_since_compaction == len(batch_records)
+
+
+def test_assigned_join_existing_clusters_opened_are_fresh_singletons(
+    miner, base_result, batch_records
+):
+    report = miner.absorb(batch_records)
+    base_labels = set(int(label) for label in base_result.labels)
+    new_labels = miner.result().labels[-len(batch_records):]
+    joined = [int(v) for v in new_labels if int(v) in base_labels]
+    fresh = [int(v) for v in new_labels if int(v) not in base_labels]
+    assert len(joined) == report.assigned
+    assert len(fresh) == report.opened
+    # Batch records are never paired with each other: every opened
+    # cluster is a singleton with its own fresh label.
+    assert len(set(fresh)) == len(fresh)
+    assert all(v > max(base_labels) for v in fresh)
+
+
+def test_absorb_is_deterministic(base_result, batch_records):
+    first = IncrementalMiner.from_result(base_result)
+    second = IncrementalMiner.from_result(base_result)
+    report_a = first.absorb(batch_records)
+    report_b = second.absorb(batch_records)
+    assert report_a == report_b
+    assert np.array_equal(first.result().labels, second.result().labels)
+
+
+def test_sparse_assignment_matches_dense(
+    base_result, sparse_base_result, batch_records
+):
+    dense = IncrementalMiner.from_result(base_result)
+    blocked = IncrementalMiner.from_result(sparse_base_result)
+    dense_report = dense.absorb(batch_records)
+    blocked_report = blocked.absorb(batch_records)
+    assert (dense_report.assigned, dense_report.opened) == (
+        blocked_report.assigned,
+        blocked_report.opened,
+    )
+    assert np.array_equal(dense.result().labels, blocked.result().labels)
+    # The blocked path actually pruned: it enumerated candidates and
+    # scored no more pairs than the dense all-pairs kernel would.
+    assert 0 < blocked_report.n_scored <= blocked_report.n_candidates
+    n_dense_pairs = len(batch_records) * len(base_result.records)
+    assert blocked_report.n_scored < n_dense_pairs
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_worker_count_is_invisible(base_result, batch_records, workers):
+    serial = IncrementalMiner.from_result(base_result)
+    config = dataclasses.replace(base_result.config, workers=workers)
+    parallel = IncrementalMiner(
+        config,
+        records=base_result.records,
+        labels=np.asarray(base_result.labels),
+        cut_threshold=base_result.cut_threshold,
+        text_model=base_result.text_model,
+    )
+    assert serial.absorb(batch_records) == parallel.absorb(batch_records)
+    assert np.array_equal(serial.result().labels, parallel.result().labels)
+
+
+def test_result_exports_to_snapshot(miner, batch_records):
+    miner.absorb(batch_records)
+    snapshot = MinedSnapshot.from_result(miner.result())
+    assert snapshot.n_records == miner.n_records
+    assert snapshot.hash == MinedSnapshot.from_result(miner.result()).hash
+
+
+def test_from_snapshot_matches_from_result(base_result, batch_records):
+    snapshot = MinedSnapshot.from_result(base_result)
+    live = IncrementalMiner.from_result(base_result)
+    restored = IncrementalMiner.from_snapshot(snapshot, base_result.records)
+    assert live.absorb(batch_records) == restored.absorb(batch_records)
+    assert np.array_equal(live.result().labels, restored.result().labels)
+
+
+def test_absorb_emits_spans_and_gauges(base_result, batch_records):
+    tracer = Tracer()
+    miner = IncrementalMiner.from_result(base_result, tracer=tracer)
+    report = miner.absorb(batch_records)
+    tracer.finish()
+    absorb = tracer.root.find("incremental.absorb")
+    assert absorb is not None
+    assert absorb.metrics["batch"] == report.batch_size
+    assert absorb.metrics["assigned"] == report.assigned
+    assert absorb.metrics["opened"] == report.opened
+    assert absorb.metrics["corpus"] == report.corpus_size
+    assert (
+        absorb.metrics["deferred_to_compaction"]
+        == report.deferred_to_compaction
+    )
+    assign = tracer.root.find("incremental.assign")
+    assert assign is not None and assign.metrics["workers"] == 1
+    assert tracer.root.find("incremental.verdicts") is not None
+
+
+def test_summary_counts_the_union(miner, base_records, batch_records):
+    miner.absorb(batch_records)
+    summary = miner.result().summary()
+    assert summary["wpns_clustered"] == len(base_records) + len(batch_records)
+
+
+def test_absorb_after_compact(miner, batch_records):
+    miner.absorb(batch_records[: len(batch_records) // 2])
+    compacted = miner.compact()
+    assert miner.absorbed_since_compaction == 0
+    assert len(compacted.records) == miner.n_records
+    report = miner.absorb(batch_records[len(batch_records) // 2:])
+    assert report.deferred_to_compaction == report.batch_size

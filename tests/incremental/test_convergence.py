@@ -1,0 +1,111 @@
+"""The convergence contract: absorb-then-compact == from-scratch, bitwise.
+
+At scale 0.125, the incremental path absorbs the last 10% of the corpus
+in two batches and then compacts; the compacted state must be
+``_checksum``-identical to ``PushAdMiner.run`` over the same union — for
+dense and blocked-sparse configurations and any worker count.  Under
+``REPRO_DETSAN=1`` the same assertions run with filesystem enumeration
+shuffled and tile submission permuted, so the contract is fuzzed, not
+just sampled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import paper_scenario, run_full_crawl
+from repro.analysis.sanitizer import _checksum
+from repro.core.pipeline import MinerConfig, PushAdMiner
+from repro.incremental import IncrementalMiner
+
+SEED = 7
+SCALE = 0.125
+
+
+def _config(storage: str, workers: int) -> MinerConfig:
+    if storage == "sparse":
+        return MinerConfig(
+            seed=SEED, storage="sparse", blocking="url", workers=workers
+        )
+    return MinerConfig(seed=SEED, workers=workers)
+
+
+@pytest.fixture(scope="module")
+def union_records():
+    config = paper_scenario(seed=SEED, scale=SCALE)
+    return run_full_crawl(config=config).valid_records
+
+
+def _canonical_checksum(result):
+    """Result checksum with the worker count normalized out.
+
+    ``_checksum`` pickles the whole result, and the result embeds its
+    :class:`MinerConfig` — whose ``workers`` field is the one thing that
+    legitimately differs between a serial and a parallel run.  Every
+    computed artifact (labels, distances, verdicts, model) must still
+    digest identically, so the config is canonicalized to ``workers=1``
+    on both sides before hashing.
+    """
+    config = dataclasses.replace(result.config, workers=1)
+    return _checksum(dataclasses.replace(result, config=config))
+
+
+@pytest.fixture(scope="module")
+def expected_checksums(union_records):
+    """From-scratch batch-mine checksum of the union, per storage."""
+    return {
+        storage: _canonical_checksum(
+            PushAdMiner(_config(storage, 1)).run(union_records)
+        )
+        for storage in ("dense", "sparse")
+    }
+
+
+def _absorb_then_compact(union_records, storage, workers):
+    n_tail = len(union_records) // 10
+    base, tail = union_records[:-n_tail], union_records[-n_tail:]
+    config = _config(storage, workers)
+    base_result = PushAdMiner(config).run(base)
+    miner = IncrementalMiner.from_result(base_result)
+    half = len(tail) // 2
+    miner.absorb(tail[:half])
+    miner.absorb(tail[half:])
+    assert miner.absorbed_since_compaction == n_tail
+    compacted = miner.compact()
+    assert miner.absorbed_since_compaction == 0
+    return miner, compacted
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_sparse_compaction_is_bitwise_identical(
+    union_records, expected_checksums, workers
+):
+    miner, compacted = _absorb_then_compact(union_records, "sparse", workers)
+    assert _canonical_checksum(compacted) == expected_checksums["sparse"]
+    # The adopted base state is the compacted one, bit for bit.
+    assert np.array_equal(miner.result().labels, np.asarray(compacted.labels))
+    assert miner.result().cut_threshold == compacted.cut_threshold
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_dense_compaction_is_bitwise_identical(
+    union_records, expected_checksums, workers
+):
+    _, compacted = _absorb_then_compact(union_records, "dense", workers)
+    assert _canonical_checksum(compacted) == expected_checksums["dense"]
+
+
+def test_storage_modes_agree_after_compaction(union_records):
+    _, dense = _absorb_then_compact(union_records, "dense", 1)
+    _, blocked = _absorb_then_compact(union_records, "sparse", 1)
+    assert np.array_equal(np.asarray(dense.labels), np.asarray(blocked.labels))
+    assert dense.cut_threshold == blocked.cut_threshold
+    assert dense.summary() == blocked.summary()
+
+
+def test_compacted_summary_matches_incremental_view(union_records):
+    miner, compacted = _absorb_then_compact(union_records, "sparse", 2)
+    assert miner.result().summary() == compacted.summary()

@@ -1,0 +1,138 @@
+"""``ServeCore.refresh``: atomic hot-swap + cache invalidation.
+
+Two snapshots from the same corpus family — the full small run and a
+mine of a strict subset — are swapped back and forth.  Correctness does
+not depend on the cache clear: keys are salted with the snapshot content
+hash, so the staleness tests also run with ``clear()`` disabled, and the
+hammer test asserts every concurrent response matches one of the two
+snapshots' canonical answers (never a mix).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.pipeline import MinerConfig, PushAdMiner
+from repro.serve import MinedSnapshot, ServeCore
+
+
+@pytest.fixture(scope="module")
+def old_snapshot(small_dataset):
+    subset = small_dataset.valid_records[:-40]
+    config = MinerConfig(seed=small_dataset.config.seed)
+    return MinedSnapshot.from_result(PushAdMiner(config).run(subset))
+
+
+@pytest.fixture(scope="module")
+def divergent_url(old_snapshot, snapshot):
+    """A landing URL the new snapshot knows but the old one does not."""
+    fresh_only = sorted(set(snapshot.urls) - set(old_snapshot.urls))
+    assert fresh_only
+    return fresh_only[0]
+
+
+def _canonical(response):
+    return json.dumps(response, sort_keys=True)
+
+
+def test_refresh_swaps_snapshot_and_returns_hash(old_snapshot, snapshot):
+    core = ServeCore(old_snapshot)
+    assert core.snapshot.hash == old_snapshot.hash
+    returned = core.refresh(snapshot)
+    assert returned == snapshot.hash
+    assert core.snapshot.hash == snapshot.hash
+    assert core.stats()["records"] == snapshot.n_records
+
+
+def test_refresh_invalidates_cached_responses(
+    old_snapshot, snapshot, divergent_url
+):
+    core = ServeCore(old_snapshot)
+    stale = core.check(divergent_url)
+    assert not stale["known"]
+    assert core.check(divergent_url) == stale  # second read is the hit
+    assert core.cache_info()["hits"] >= 1
+    core.refresh(snapshot)
+    info = core.cache_info()
+    assert info["size"] == 0 and info["hits"] == 0
+    fresh = core.check(divergent_url)
+    assert fresh["known"]
+    assert fresh != stale
+
+
+def test_stale_entries_unreachable_even_without_clear(
+    old_snapshot, snapshot, divergent_url, monkeypatch
+):
+    core = ServeCore(old_snapshot)
+    before = core.check(divergent_url)
+    assert not before["known"]
+    monkeypatch.setattr(core._cache, "clear", lambda: None)
+    core.refresh(snapshot)
+    assert core.cache_info()["size"] > 0  # the stale entry survived...
+    after = core.check(divergent_url)  # ...but its key can never match
+    assert after["known"]
+    assert after != before
+
+
+def test_refresh_answers_match_a_fresh_core(old_snapshot, snapshot, known_url):
+    refreshed = ServeCore(old_snapshot)
+    refreshed.refresh(snapshot)
+    fresh = ServeCore(snapshot)
+    assert _canonical(refreshed.check(known_url)) == _canonical(
+        fresh.check(known_url)
+    )
+    assert _canonical(refreshed.stats()) == _canonical(fresh.stats())
+
+
+def test_concurrent_queries_never_observe_a_mixed_snapshot(
+    old_snapshot, snapshot, divergent_url
+):
+    """Hammer one core from several threads across repeated swaps.
+
+    Every response must be byte-equal to one of the two snapshots'
+    canonical answers: a response mixing state from both generations
+    (or a stale cache replay after a swap) fails the membership check.
+    """
+    legal_stats = {
+        _canonical(ServeCore(generation, cache_size=0).stats())
+        for generation in (old_snapshot, snapshot)
+    }
+    legal_checks = {
+        _canonical(ServeCore(generation, cache_size=0).check(divergent_url))
+        for generation in (old_snapshot, snapshot)
+    }
+    assert len(legal_stats) == 2  # the generations are distinguishable
+    assert len(legal_checks) == 2
+
+    core = ServeCore(old_snapshot)
+    errors = []
+    stop = threading.Event()
+
+    def hammer():
+        try:
+            while not stop.is_set():
+                if _canonical(core.stats()) not in legal_stats:
+                    errors.append("stats response from a mixed snapshot")
+                    return
+                if _canonical(core.check(divergent_url)) not in legal_checks:
+                    errors.append("check response from a mixed snapshot")
+                    return
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(30):
+            core.refresh(snapshot)
+            core.refresh(old_snapshot)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert errors == []
+    assert not any(thread.is_alive() for thread in threads)

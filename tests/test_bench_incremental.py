@@ -1,0 +1,112 @@
+"""repro.bench --incremental: the compare gate's failure modes (unit-level).
+
+The full run (crawl + three timed mining legs) executes in check.sh; here
+the gate logic is pinned against synthetic reports, and the committed
+``BENCH_incremental.json`` — when present — must itself satisfy the
+ceiling it gates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import (
+    ABSORB_WALL_CEILING,
+    INCREMENTAL_SCHEMA,
+    MIN_GATED_FULL_WALL,
+    compare_incremental_reports,
+)
+
+
+def _report(absorb_s=0.2, full_s=3.5, assigned=53, summary_records=3874):
+    return {
+        "schema": INCREMENTAL_SCHEMA,
+        "scenario": {"seed": 7, "scale": 0.25, "batch_fraction": 0.05},
+        "perf": {
+            "workers": 1, "tile_size": 512, "storage": "sparse",
+            "blocking": "url", "blocking_bound": 0.45,
+        },
+        "walls": {
+            "full_remine_s": full_s,
+            "base_mine_s": full_s * 0.95,
+            "absorb_s": absorb_s,
+            "absorb_over_full": round(absorb_s / full_s, 4),
+        },
+        "n_base": 3680,
+        "n_batch": 194,
+        "n_union": 3874,
+        "assigned": assigned,
+        "opened": 194 - assigned,
+        "candidate_pairs": 100000,
+        "scored_pairs": 9000,
+        "summary": {"wpns_clustered": summary_records, "wpn_ads": 100},
+    }
+
+
+def test_identical_reports_pass():
+    failures, lines = compare_incremental_reports(_report(), _report())
+    assert failures == []
+    assert any("ceiling" in line for line in lines)
+
+
+def test_ceiling_breach_is_a_hard_failure():
+    fresh = _report(absorb_s=1.0)  # 28.6% of the full wall
+    failures, _ = compare_incremental_reports(fresh, _report(absorb_s=1.0))
+    assert any("re-paying the pipeline" in f for f in failures)
+
+
+def test_ceiling_not_gated_below_min_full_wall():
+    # Same 28.6% ratio, but the full mine is smoke-sized noise.
+    small = MIN_GATED_FULL_WALL / 10
+    fresh = _report(absorb_s=small * 0.286, full_s=small)
+    failures, lines = compare_incremental_reports(
+        fresh, _report(absorb_s=small * 0.286, full_s=small)
+    )
+    assert failures == []
+    assert any("not gated" in line for line in lines)
+
+
+def test_assigned_drift_is_a_determinism_failure():
+    failures, _ = compare_incremental_reports(
+        _report(assigned=52), _report()
+    )
+    assert any(
+        "assigned" in f and "determinism" in f for f in failures
+    )
+    assert any("opened" in f for f in failures)
+
+
+def test_summary_drift_is_a_determinism_failure():
+    failures, _ = compare_incremental_reports(
+        _report(summary_records=9999), _report()
+    )
+    assert any("union summary drifted" in f for f in failures)
+
+
+def test_absorb_wall_regression_fails():
+    failures, lines = compare_incremental_reports(
+        _report(absorb_s=0.45), _report(absorb_s=0.2)
+    )
+    assert any("regression" in f.lower() for f in failures)
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_absorb_wall_within_tolerance_passes():
+    failures, _ = compare_incremental_reports(
+        _report(absorb_s=0.28), _report(absorb_s=0.2)
+    )
+    assert failures == []
+
+
+def test_committed_baseline_respects_its_own_gate():
+    path = Path(__file__).resolve().parents[1] / "BENCH_incremental.json"
+    if not path.exists():
+        return  # the artifact ships with the repo, but stay lenient
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == INCREMENTAL_SCHEMA
+    walls = payload["walls"]
+    assert walls["full_remine_s"] >= MIN_GATED_FULL_WALL
+    assert walls["absorb_over_full"] <= ABSORB_WALL_CEILING
+    assert payload["assigned"] + payload["opened"] == payload["n_batch"]
+    assert payload["n_base"] + payload["n_batch"] == payload["n_union"]
